@@ -1,0 +1,63 @@
+//! Ablation sweeps over Flock's design parameters (DESIGN.md §4):
+//!
+//! * `MAX_AQP` — the server's active-QP bound. Too low starves
+//!   parallelism; too high readmits NIC cache thrashing. The paper picks
+//!   256 from Figure 2(a).
+//! * TCQ batch limit — the leader's per-batch request bound (paper §4.2
+//!   "bounded number of buffers").
+//! * Credit grant size — `C` in the renewal scheme (paper default 32).
+
+use flock_bench::{header, sim_duration, sim_warmup};
+use flock_models::{run_rpc, RpcConfig, SystemKind};
+
+fn base() -> RpcConfig {
+    let mut cfg = RpcConfig::default();
+    cfg.system = SystemKind::Flock;
+    cfg.threads_per_client = 48;
+    cfg.lanes_per_client = 48;
+    cfg.outstanding = 8;
+    cfg.duration = sim_duration();
+    cfg.warmup = sim_warmup();
+    cfg
+}
+
+fn main() {
+    header(
+        "Ablation: MAX_AQP (23 clients x 48 threads, 8 outstanding)",
+        &["max_aqp", "mops", "p99_us", "degree", "cache_hit"],
+    );
+    for max_aqp in [32, 64, 128, 256, 512, 1024, 2048] {
+        let mut cfg = base();
+        cfg.max_aqp = max_aqp;
+        let r = run_rpc(&cfg);
+        println!(
+            "{max_aqp}\t{:.1}\t{:.1}\t{:.2}\t{:.3}",
+            r.mops, r.p99_us, r.degree, r.cache_hit
+        );
+    }
+    println!("expected: throughput peaks near the paper's 256; beyond ~1024 the cache thrashes");
+
+    header(
+        "Ablation: TCQ batch limit",
+        &["batch_limit", "mops", "p99_us", "degree"],
+    );
+    for batch in [1, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = base();
+        cfg.batch_limit = batch;
+        let r = run_rpc(&cfg);
+        println!("{batch}\t{:.1}\t{:.1}\t{:.2}", r.mops, r.p99_us, r.degree);
+    }
+    println!("expected: gains saturate once the limit exceeds the natural contention degree");
+
+    header(
+        "Ablation: credit grant size C",
+        &["grant", "mops", "p99_us", "degree"],
+    );
+    for grant in [4u32, 8, 16, 32, 64, 128] {
+        let mut cfg = base();
+        cfg.grant_size = grant;
+        let r = run_rpc(&cfg);
+        println!("{grant}\t{:.1}\t{:.1}\t{:.2}", r.mops, r.p99_us, r.degree);
+    }
+    println!("expected: tiny grants stall senders on renewal RTTs; the paper's 32 is ample");
+}

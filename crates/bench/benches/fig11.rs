@@ -1,0 +1,56 @@
+//! Figure 11: sender-side thread scheduling (Algorithm 1). 90% of threads
+//! send 64-byte RPCs, 10% send large RPCs (512/768/1024 B); 32 threads per
+//! client over shared QPs.
+//!
+//! Paper: grouping small-payload threads and isolating large ones avoids
+//! head-of-line blocking, improving throughput up to 1.5× over a static
+//! two-threads-per-QP assignment.
+
+use flock_bench::{header, sim_duration, sim_warmup};
+use flock_models::{run_rpc, RpcConfig, SystemKind};
+
+fn run(large_size: usize, thread_sched: bool) -> flock_models::Report {
+    let mut cfg = RpcConfig::default();
+    cfg.system = SystemKind::Flock;
+    cfg.threads_per_client = 32;
+    // Half as many QPs as threads: two threads per QP without scheduling,
+    // matching the paper's static baseline.
+    cfg.lanes_per_client = 16;
+    cfg.outstanding = 8;
+    cfg.large_fraction = 0.10;
+    cfg.large_size = large_size;
+    // Isolate the sender-side variable: receiver-side QP scheduling and
+    // credits are identical (off) in both configurations.
+    cfg.scheduling = false;
+    cfg.thread_sched = thread_sched;
+    cfg.duration = sim_duration();
+    cfg.warmup = sim_warmup();
+    run_rpc(&cfg)
+}
+
+fn main() {
+    header(
+        "Figure 11: sender-side thread scheduling (10% large payloads)",
+        &[
+            "large_B",
+            "with_mops",
+            "without_mops",
+            "speedup",
+            "with_p99_us",
+            "without_p99_us",
+        ],
+    );
+    for large in [512usize, 768, 1024] {
+        let with = run(large, true);
+        let without = run(large, false);
+        println!(
+            "{large}\t{:.1}\t{:.1}\t{:.2}x\t{:.1}\t{:.1}",
+            with.mops,
+            without.mops,
+            with.mops / without.mops,
+            with.p99_us,
+            without.p99_us
+        );
+    }
+    println!("\npaper: up to 1.5x throughput with similar latency across payload sizes");
+}

@@ -1,0 +1,81 @@
+//! Figures 16, 17, 18: HydraList index service — throughput, median, and
+//! p99 latency for a 90% get / 10% scan(64) workload over Flock vs eRPC.
+//! One server (all cores), 22 clients, threads ∈ {1..32}, outstanding
+//! ∈ {1, 4, 8}; 8-byte keys/values, the server answers scans with an
+//! 8-byte count.
+//!
+//! Paper: eRPC equal or slightly ahead up to 8 threads; QP sharing starts
+//! at 16 threads (352 QPs); at 32 threads Flock wins ~1.4× with lower
+//! median and p99 for both gets and scans.
+//!
+//! Scale note: the index defaults to 2M keys instead of the paper's 32M
+//! (set `FLOCK_HYDRA_KEYS` to raise it).
+
+use flock_bench::{header, sim_duration, sim_warmup};
+use flock_models::{run_rpc, Report, RpcConfig, SystemKind};
+
+const THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn keys() -> u64 {
+    std::env::var("FLOCK_HYDRA_KEYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+fn run(system: SystemKind, threads: usize, outstanding: usize) -> Report {
+    let mut cfg = RpcConfig::default();
+    cfg.system = system;
+    cfg.n_clients = 22;
+    cfg.threads_per_client = threads;
+    cfg.lanes_per_client = threads;
+    cfg.outstanding = outstanding;
+    cfg.hydra_keys = Some(keys());
+    cfg.duration = sim_duration();
+    cfg.warmup = sim_warmup();
+    run_rpc(&cfg)
+}
+
+fn main() {
+    for outstanding in [1, 4, 8] {
+        header(
+            &format!(
+                "Figures 16/17/18: HydraList 90% get / 10% scan (outstanding = {outstanding})"
+            ),
+            &[
+                "threads",
+                "flock_mops",
+                "flock_get_med",
+                "flock_get_p99",
+                "flock_scan_med",
+                "flock_scan_p99",
+                "erpc_mops",
+                "erpc_get_med",
+                "erpc_get_p99",
+                "erpc_scan_med",
+                "erpc_scan_p99",
+            ],
+        );
+        for threads in THREADS {
+            let f = run(SystemKind::Flock, threads, outstanding);
+            let e = run(SystemKind::UdRpc, threads, outstanding);
+            println!(
+                "{threads}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                f.mops,
+                f.get_median_us,
+                f.get_p99_us,
+                f.scan_median_us,
+                f.scan_p99_us,
+                e.mops,
+                e.get_median_us,
+                e.get_p99_us,
+                e.scan_median_us,
+                e.scan_p99_us
+            );
+        }
+    }
+    println!(
+        "\npaper: eRPC equal/slightly ahead up to 8 threads; Flock ~1.4x at 32 threads \
+         with lower median and p99 for gets and scans"
+    );
+}

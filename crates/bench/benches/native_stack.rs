@@ -1,0 +1,65 @@
+//! Wall-clock sanity benchmark of the *threaded* Flock stack (real
+//! lock-free TCQ, rings, dispatchers — no virtual time).
+//!
+//! These numbers measure this repository's software fabric on the host
+//! machine; they are NOT comparable to the paper's hardware numbers (the
+//! figure benches are). They exist to catch performance regressions in
+//! the real code paths.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flock_core::client::HandleConfig;
+use flock_core::server::{FlockServer, ServerConfig};
+use flock_core::{ConnectionHandle, FlockDomain};
+
+fn run_native(n_clients: usize, threads_per_client: usize, pipeline: usize, ops: u64) -> f64 {
+    let domain = FlockDomain::with_defaults();
+    let snode = domain.add_node("native-server");
+    let server = FlockServer::listen(&domain, &snode, "native", ServerConfig::default());
+    server.reg_handler(1, |req| req.to_vec());
+
+    let mut joins = Vec::new();
+    let mut handles = Vec::new();
+    let start = Instant::now();
+    for c in 0..n_clients {
+        let node = domain.add_node(&format!("native-c{c}"));
+        let mut cfg = HandleConfig::default();
+        cfg.n_qps = 2;
+        let handle = Arc::new(ConnectionHandle::connect(&domain, &node, "native", cfg).unwrap());
+        for _ in 0..threads_per_client {
+            let t = handle.register_thread();
+            joins.push(std::thread::spawn(move || {
+                let per_thread = ops;
+                let mut done = 0;
+                while done < per_thread {
+                    let burst = pipeline.min((per_thread - done) as usize);
+                    let seqs: Vec<u64> = (0..burst)
+                        .map(|_| t.send_rpc(1, &done.to_le_bytes()).unwrap())
+                        .collect();
+                    for s in seqs {
+                        t.recv_res(s).unwrap();
+                        done += 1;
+                    }
+                }
+            }));
+        }
+        handles.push(handle);
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let total = (n_clients * threads_per_client) as f64 * ops as f64;
+    server.shutdown(&domain);
+    total / secs
+}
+
+fn main() {
+    println!("\n=== Native threaded-stack throughput (host wall clock; not paper-comparable) ===");
+    println!("clients\tthreads\tpipeline\tkops_per_s");
+    for (c, t, p) in [(1, 1, 1), (1, 4, 4), (2, 4, 4), (2, 4, 8)] {
+        let rate = run_native(c, t, p, 2_000);
+        println!("{c}\t{t}\t{p}\t{:.0}", rate / 1e3);
+    }
+}

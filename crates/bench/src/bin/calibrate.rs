@@ -1,0 +1,77 @@
+//! Calibration probe: key points from Figures 2, 6, 9 to sanity-check the
+//! cost model before full sweeps.
+
+use flock_models::{run_raw_read, run_rpc, RawReadConfig, RpcConfig, SystemKind};
+use flock_sim::Ns;
+
+fn main() {
+    let d = Ns::from_millis(5);
+    let wu = Ns::from_millis(2);
+
+    println!("--- fig2a raw RC reads (22 clients, 16B) ---");
+    for qps in [22, 44, 88, 176, 352, 704, 1408, 2816] {
+        let mut cfg = RawReadConfig::default();
+        cfg.total_qps = qps;
+        cfg.duration = d;
+        cfg.warmup = wu;
+        let r = run_raw_read(&cfg);
+        println!("qps={qps:5}  mops={:6.1}  hit={:.2}", r.mops, r.cache_hit);
+    }
+
+    println!("--- fig2b UD RPC (#senders) ---");
+    for senders in [22, 44, 88, 176, 352, 704, 1408, 2816] {
+        let mut cfg = RpcConfig::default();
+        cfg.system = SystemKind::UdRpc;
+        cfg.n_clients = 22;
+        cfg.threads_per_client = (senders / 22).max(1);
+        cfg.outstanding = 4;
+        cfg.handler_ns = 50;
+        cfg.duration = d;
+        cfg.warmup = wu;
+        let r = run_rpc(&cfg);
+        println!(
+            "senders={senders:5}  mops={:6.1}  cpu={:.2}",
+            r.mops, r.server_cpu
+        );
+    }
+
+    println!("--- fig6a flock vs erpc, outstanding=1 ---");
+    for threads in [1, 2, 4, 8, 16, 32, 48] {
+        let mut f = RpcConfig::default();
+        f.threads_per_client = threads;
+        f.lanes_per_client = threads;
+        f.duration = d;
+        f.warmup = wu;
+        let rf = run_rpc(&f);
+        let mut e = f.clone();
+        e.system = SystemKind::UdRpc;
+        let re = run_rpc(&e);
+        println!(
+            "thr={threads:2}  flock={:5.1} (deg {:.2}, med {:5.1}us p99 {:6.1}us)  erpc={:5.1} (med {:5.1}us p99 {:6.1}us)",
+            rf.mops, rf.degree, rf.median_us, rf.p99_us, re.mops, re.median_us, re.p99_us
+        );
+    }
+
+    println!("--- fig9 at outstanding=8 ---");
+    for threads in [8, 16, 32, 48] {
+        let mk = |system, lanes: usize, batch: usize, sched: bool| {
+            let mut c = RpcConfig::default();
+            c.system = system;
+            c.threads_per_client = threads;
+            c.lanes_per_client = lanes;
+            c.batch_limit = batch;
+            c.scheduling = sched;
+            c.outstanding = 8;
+            c.duration = d;
+            c.warmup = wu;
+            run_rpc(&c)
+        };
+        let flock = mk(SystemKind::Flock, threads, 16, true);
+        let noshare = mk(SystemKind::NoShare, threads, 1, false);
+        let farm2 = mk(SystemKind::LockShare, (threads / 2).max(1), 1, false);
+        println!(
+            "thr={threads:2}  flock={:5.1} (deg {:.2})  noshare={:5.1} (hit {:.2})  farm2={:5.1}",
+            flock.mops, flock.degree, noshare.mops, noshare.cache_hit, farm2.mops
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # flock-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the Flock
+//! paper (SOSP 2021). Each `benches/figN*.rs` target (run via
+//! `cargo bench`) prints the same rows/series the paper reports;
+//! `benches/micro.rs` holds Criterion microbenchmarks of the core data
+//! structures. See EXPERIMENTS.md for paper-vs-measured values.
+
+use flock_sim::Ns;
+
+/// Measurement window per point, scaled by `FLOCK_SIM_MS` (default 8 ms).
+pub fn sim_duration() -> Ns {
+    let ms = std::env::var("FLOCK_SIM_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(8);
+    Ns::from_millis(ms)
+}
+
+/// Warmup per point (default: half the measurement window, min 2 ms).
+pub fn sim_warmup() -> Ns {
+    Ns(sim_duration().as_nanos() / 2).max(Ns::from_millis(2))
+}
+
+/// Print a standard series header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", cols.join("\t"));
+}

@@ -1,0 +1,87 @@
+//! The `fl_*` API facade — the paper's Table 2, as free functions.
+//!
+//! These are thin wrappers over [`ConnectionHandle`], [`FlThread`] and
+//! [`FlockServer`]; idiomatic Rust code can use the methods directly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flock_fabric::Node;
+
+use crate::client::{ConnectionHandle, FlThread, HandleConfig};
+use crate::domain::FlockDomain;
+use crate::error::Result;
+use crate::server::{FlockServer, IncomingRpc, RpcToken};
+
+/// Connect to a remote node (Table 2: `fl_connect`).
+pub fn fl_connect(
+    domain: &FlockDomain,
+    node: &Arc<Node>,
+    server_name: &str,
+    cfg: HandleConfig,
+) -> Result<ConnectionHandle> {
+    ConnectionHandle::connect(domain, node, server_name, cfg)
+}
+
+/// Attach a memory region for one-sided operations (Table 2:
+/// `fl_attach_mreg`). Server side; returns the region index clients use.
+pub fn fl_attach_mreg(server: &FlockServer, len: usize) -> usize {
+    server.attach_mreg(len)
+}
+
+/// Send an RPC request with an RPC id and data (Table 2: `fl_send_rpc`).
+pub fn fl_send_rpc(thread: &FlThread, rpc_id: u32, data: &[u8]) -> Result<u64> {
+    thread.send_rpc(rpc_id, data)
+}
+
+/// Receive the RPC response for `seq` (Table 2: `fl_recv_res`).
+pub fn fl_recv_res(thread: &FlThread, seq: u64) -> Result<Vec<u8>> {
+    thread.recv_res(seq)
+}
+
+/// Register an RPC handler function (Table 2: `fl_reg_handler`).
+pub fn fl_reg_handler(
+    server: &FlockServer,
+    rpc_id: u32,
+    f: impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+) {
+    server.reg_handler(rpc_id, f);
+}
+
+/// Fetch a pending RPC request with no registered handler (Table 2:
+/// `fl_recv_rpc`).
+pub fn fl_recv_rpc(server: &FlockServer, timeout: Duration) -> Option<IncomingRpc> {
+    server.recv_rpc(timeout)
+}
+
+/// Send an RPC response for a request obtained via [`fl_recv_rpc`]
+/// (Table 2: `fl_send_res`).
+pub fn fl_send_res(server: &FlockServer, token: RpcToken, data: &[u8]) -> Result<()> {
+    server.send_res(token, data)
+}
+
+/// One-sided read from remote memory (Table 2: `fl_read`).
+pub fn fl_read(thread: &FlThread, mem_idx: usize, offset: u64, len: usize) -> Result<Vec<u8>> {
+    thread.read(mem_idx, offset, len)
+}
+
+/// One-sided write to remote memory (Table 2: `fl_write`).
+pub fn fl_write(thread: &FlThread, mem_idx: usize, offset: u64, data: &[u8]) -> Result<()> {
+    thread.write(mem_idx, offset, data)
+}
+
+/// Remote fetch-and-add (Table 2: `fl_fetch_and_add`).
+pub fn fl_fetch_and_add(thread: &FlThread, mem_idx: usize, offset: u64, delta: u64) -> Result<u64> {
+    thread.fetch_add(mem_idx, offset, delta)
+}
+
+/// Remote compare-and-swap (Table 2: `fl_cmp_and_swap`).
+pub fn fl_cmp_and_swap(
+    thread: &FlThread,
+    mem_idx: usize,
+    offset: u64,
+    expect: u64,
+    swap: u64,
+) -> Result<u64> {
+    thread.cmp_swap(mem_idx, offset, expect, swap)
+}

@@ -1,0 +1,1148 @@
+//! The client side of Flock: the connection handle (paper §3), the
+//! leader's send path over the TCQ (§4.2), the response dispatcher (§4.3),
+//! sender-side thread scheduling (§5.2), and one-sided memory operations
+//! (§6).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+use flock_fabric::{
+    Access, CqOpcode, MemoryRegion, Node, NodeId, RemoteAddr, SendWr, Sge, Transport, WrId,
+};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::credit::{CreditState, MedianWindow};
+use crate::domain::{ConnectRequest, FlockDomain, MemRegionInfo, RingInfo};
+use crate::error::{FlockError, Result};
+use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
+use crate::ring::{RingConsumer, RingLayout, RingProducer};
+use crate::sched::thread::{assign_threads, ThreadLoadStats};
+use crate::tcq::{Outcome, Tcq};
+
+/// Per-thread scratch slot size for one-sided operation payloads/results.
+pub const MEM_SCRATCH: usize = 4096;
+/// Maximum registered threads per connection handle.
+pub const MAX_THREADS: usize = 256;
+
+/// Client-side configuration for a connection handle.
+#[derive(Debug, Clone)]
+pub struct HandleConfig {
+    /// Number of RC QPs multiplexed under this handle.
+    pub n_qps: usize,
+    /// Ring buffer capacity per QP (bytes).
+    pub ring_capacity: usize,
+    /// TCQ batch bound (coalesced requests per message).
+    pub batch_limit: usize,
+    /// Disable coalescing (ablation: every request is its own message).
+    pub coalescing: bool,
+    /// Sender-side thread scheduling interval.
+    pub sched_interval: Duration,
+    /// Run the sender-side thread scheduler (ablation switch).
+    pub auto_thread_sched: bool,
+    /// Signal every Nth RDMA write (selective signaling, paper §7).
+    pub signal_every: u64,
+    /// Default timeout for blocking waits.
+    pub timeout: Duration,
+}
+
+impl Default for HandleConfig {
+    fn default() -> Self {
+        HandleConfig {
+            n_qps: 4,
+            ring_capacity: 1 << 16,
+            batch_limit: 16,
+            coalescing: true,
+            sched_interval: Duration::from_millis(10),
+            auto_thread_sched: true,
+            signal_every: 64,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A request item travelling through the TCQ.
+pub(crate) enum ClientReq {
+    /// An RPC request: metadata plus payload.
+    Rpc(EntryMeta, Vec<u8>),
+    /// A pre-built one-sided work request.
+    Mem(SendWr),
+}
+
+/// Per-QP client context.
+pub(crate) struct ClientQpCtx {
+    index: usize,
+    qp: Arc<flock_fabric::Qp>,
+    tcq: Tcq<ClientReq>,
+    req_prod: Mutex<RingProducer>,
+    req_remote: RingInfo,
+    staging: Arc<MemoryRegion>,
+    /// Consumed head of the *server's request ring*, piggybacked on
+    /// responses; read by the leader before reserving.
+    server_head: AtomicU64,
+    resp_mr: Arc<MemoryRegion>,
+    resp_cons: Mutex<RingConsumer>,
+    /// Consumed head of our response ring (piggybacked on requests).
+    resp_head_shared: AtomicU64,
+    credits: Mutex<CreditState>,
+    credit_cond: Condvar,
+    degree: Mutex<MedianWindow>,
+    active: AtomicBool,
+    canary_seq: AtomicU64,
+    write_count: AtomicU64,
+    messages_sent: AtomicU64,
+    requests_sent: AtomicU64,
+}
+
+impl ClientQpCtx {
+    fn next_canary(&self) -> u64 {
+        // Nonzero, unique per message on this QP.
+        0x5EED_0000_0000_0001 + self.canary_seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Number of scratch sub-slots per thread (concurrent one-sided ops).
+pub const MEM_SUBSLOTS: usize = 8;
+/// Bytes per scratch sub-slot.
+pub const MEM_SUBSLOT_SIZE: usize = MEM_SCRATCH / MEM_SUBSLOTS;
+
+/// Bookkeeping for one pending one-sided operation.
+struct MemPending {
+    /// Sub-slot bitmask held by the operation.
+    mask: u8,
+    /// Absolute offset of the result bytes in the handle's scratch MR.
+    scratch_off: usize,
+    /// Bytes to copy out on success.
+    result_len: usize,
+}
+
+/// A point-in-time snapshot of one QP lane's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpMetrics {
+    /// Coalesced messages sent on the lane.
+    pub messages: u64,
+    /// Individual requests sent on the lane.
+    pub requests: u64,
+    /// Credits currently available.
+    pub credits: u32,
+    /// Whether the server's scheduler keeps the lane active.
+    pub active: bool,
+}
+
+/// A point-in-time snapshot of a connection handle's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandleMetrics {
+    /// Total coalesced messages sent.
+    pub messages: u64,
+    /// Total requests sent.
+    pub requests: u64,
+    /// Mean coalescing degree (requests per message; 0 before traffic).
+    pub degree: f64,
+    /// Lanes currently active.
+    pub active_qps: usize,
+    /// Registered application threads.
+    pub threads: usize,
+    /// Per-lane breakdown.
+    pub per_qp: Vec<QpMetrics>,
+}
+
+/// A handle to an in-flight one-sided operation (coroutine-style
+/// pipelining, paper §8.5.2). Obtain via [`FlThread::read_async`] or
+/// [`FlThread::write_async`]; poll with [`FlThread::try_mem`] or block
+/// with [`FlThread::wait_mem`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemToken {
+    wr_id: u64,
+}
+
+/// Per-application-thread context.
+pub(crate) struct ThreadCtx {
+    id: u32,
+    next_seq: AtomicU64,
+    outstanding: AtomicU64,
+    current_qp: AtomicUsize,
+    target_qp: AtomicUsize,
+    inbox: Mutex<HashMap<u64, Vec<u8>>>,
+    inbox_cond: Condvar,
+    // Stats for Algorithm 1 (since last scheduling interval).
+    req_sizes: Mutex<MedianWindow>,
+    bytes: AtomicU64,
+    reqs: AtomicU64,
+    // In-flight one-sided operations (up to MEM_SUBSLOTS concurrently).
+    mem_pending: Mutex<HashMap<u64, MemPending>>,
+    mem_results: Mutex<HashMap<u64, std::result::Result<Vec<u8>, &'static str>>>,
+    mem_cond: Condvar,
+    /// Bitmap of free scratch sub-slots.
+    mem_free: Mutex<u8>,
+}
+
+/// Shared state behind a [`ConnectionHandle`].
+pub(crate) struct HandleInner {
+    #[allow(dead_code)] // keeps the node alive for the handle's lifetime
+    node: Arc<Node>,
+    #[allow(dead_code)]
+    server_node: NodeId,
+    sender_id: u32,
+    cfg: HandleConfig,
+    qps: Vec<Arc<ClientQpCtx>>,
+    threads: RwLock<Vec<Arc<ThreadCtx>>>,
+    mem_regions: Vec<MemRegionInfo>,
+    mem_mr: Arc<MemoryRegion>,
+    mem_wr_seq: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A Flock connection to one remote node (`fl_connect`, paper Table 2).
+///
+/// The handle owns a set of RC QPs, their rings, TCQs and credit state,
+/// plus the response-dispatcher and thread-scheduler threads. Application
+/// threads register via [`ConnectionHandle::register_thread`] and interact
+/// through the returned [`FlThread`].
+pub struct ConnectionHandle {
+    inner: Arc<HandleInner>,
+    dispatcher: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+/// A per-application-thread handle (cheap to clone is intentionally *not*
+/// provided: one `FlThread` per OS thread).
+pub struct FlThread {
+    ctx: Arc<ThreadCtx>,
+    inner: Arc<HandleInner>,
+}
+
+impl ConnectionHandle {
+    /// Establish a connection to the server listening as `server_name`
+    /// (the `fl_connect` API).
+    pub fn connect(
+        domain: &FlockDomain,
+        node: &Arc<Node>,
+        server_name: &str,
+        cfg: HandleConfig,
+    ) -> Result<ConnectionHandle> {
+        assert!(cfg.n_qps >= 1);
+        let batch_limit = if cfg.coalescing { cfg.batch_limit } else { 1 };
+
+        // Create QPs and response rings.
+        let mut client_qps = Vec::with_capacity(cfg.n_qps);
+        let mut resp_mrs = Vec::with_capacity(cfg.n_qps);
+        let mut response_rings = Vec::with_capacity(cfg.n_qps);
+        for _ in 0..cfg.n_qps {
+            let cq = node.create_cq(256);
+            let qp = node.create_qp(Transport::Rc, &cq, &cq);
+            let resp_mr = node.register_mr(cfg.ring_capacity, Access::REMOTE_WRITE);
+            response_rings.push(RingInfo {
+                rkey: resp_mr.rkey(),
+                addr: resp_mr.addr(),
+                capacity: cfg.ring_capacity,
+            });
+            resp_mrs.push(resp_mr);
+            client_qps.push(qp);
+        }
+
+        let (reply_tx, _unused) = bounded(1);
+        let reply = domain.dial(
+            server_name,
+            ConnectRequest {
+                client_node: node.id(),
+                client_qps: client_qps.clone(),
+                response_rings,
+                reply: reply_tx,
+            },
+        )?;
+
+        let mut qps = Vec::with_capacity(cfg.n_qps);
+        for (i, qp) in client_qps.into_iter().enumerate() {
+            let staging = node.register_mr(cfg.ring_capacity, Access::LOCAL);
+            let req_remote = reply.request_rings[i];
+            qps.push(Arc::new(ClientQpCtx {
+                index: i,
+                qp,
+                tcq: Tcq::new(batch_limit),
+                req_prod: Mutex::new(RingProducer::new(RingLayout::new(0, req_remote.capacity))),
+                req_remote,
+                staging,
+                server_head: AtomicU64::new(0),
+                resp_mr: Arc::clone(&resp_mrs[i]),
+                resp_cons: Mutex::new(RingConsumer::new(RingLayout::new(0, cfg.ring_capacity))),
+                resp_head_shared: AtomicU64::new(0),
+                credits: Mutex::new(CreditState::new(reply.initial_credits)),
+                credit_cond: Condvar::new(),
+                degree: Mutex::new(MedianWindow::new(64)),
+                active: AtomicBool::new(true),
+                canary_seq: AtomicU64::new(0),
+                write_count: AtomicU64::new(0),
+                messages_sent: AtomicU64::new(0),
+                requests_sent: AtomicU64::new(0),
+            }));
+        }
+
+        let mem_mr = node.register_mr(MAX_THREADS * MEM_SCRATCH, Access::LOCAL);
+        let inner = Arc::new(HandleInner {
+            node: Arc::clone(node),
+            server_node: reply.server_node,
+            sender_id: reply.sender_id,
+            cfg: cfg.clone(),
+            qps,
+            threads: RwLock::new(Vec::new()),
+            mem_regions: reply.memory_regions,
+            mem_mr,
+            mem_wr_seq: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("fl-resp-dispatch".into())
+                .spawn(move || dispatcher_loop(&inner))
+                .expect("spawn dispatcher")
+        };
+        let scheduler = if cfg.auto_thread_sched {
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("fl-thread-sched".into())
+                    .spawn(move || scheduler_loop(&inner))
+                    .expect("spawn scheduler"),
+            )
+        } else {
+            None
+        };
+
+        Ok(ConnectionHandle {
+            inner,
+            dispatcher: Some(dispatcher),
+            scheduler,
+        })
+    }
+
+    /// The sender id the server assigned to this connection.
+    pub fn sender_id(&self) -> u32 {
+        self.inner.sender_id
+    }
+
+    /// Memory regions the server advertised for one-sided operations.
+    pub fn memory_regions(&self) -> &[MemRegionInfo] {
+        &self.inner.mem_regions
+    }
+
+    /// Register the calling application thread; returns its `FlThread`.
+    pub fn register_thread(&self) -> FlThread {
+        let mut threads = self.inner.threads.write();
+        let id = threads.len() as u32;
+        assert!((id as usize) < MAX_THREADS, "too many registered threads");
+        let initial_qp = id as usize % self.inner.qps.len();
+        let ctx = Arc::new(ThreadCtx {
+            id,
+            next_seq: AtomicU64::new(1),
+            outstanding: AtomicU64::new(0),
+            current_qp: AtomicUsize::new(initial_qp),
+            target_qp: AtomicUsize::new(initial_qp),
+            inbox: Mutex::new(HashMap::new()),
+            inbox_cond: Condvar::new(),
+            req_sizes: Mutex::new(MedianWindow::new(64)),
+            bytes: AtomicU64::new(0),
+            reqs: AtomicU64::new(0),
+            mem_pending: Mutex::new(HashMap::new()),
+            mem_results: Mutex::new(HashMap::new()),
+            mem_cond: Condvar::new(),
+            mem_free: Mutex::new(0xFF),
+        });
+        threads.push(Arc::clone(&ctx));
+        FlThread {
+            ctx,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of QPs currently marked active by the server's scheduler.
+    pub fn active_qps(&self) -> usize {
+        self.inner
+            .qps
+            .iter()
+            .filter(|q| q.active.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Mean coalescing degree observed across this handle's QPs.
+    pub fn mean_coalescing_degree(&self) -> f64 {
+        let (reqs, msgs) = self.inner.qps.iter().fold((0u64, 0u64), |(r, m), q| {
+            (
+                r + q.requests_sent.load(Ordering::Relaxed),
+                m + q.messages_sent.load(Ordering::Relaxed),
+            )
+        });
+        if msgs == 0 {
+            0.0
+        } else {
+            reqs as f64 / msgs as f64
+        }
+    }
+
+    /// Snapshot the handle's counters (observability; cheap, lock-light).
+    pub fn metrics(&self) -> HandleMetrics {
+        let per_qp: Vec<QpMetrics> = self
+            .inner
+            .qps
+            .iter()
+            .map(|q| QpMetrics {
+                messages: q.messages_sent.load(Ordering::Relaxed),
+                requests: q.requests_sent.load(Ordering::Relaxed),
+                credits: q.credits.lock().credits(),
+                active: q.active.load(Ordering::Relaxed),
+            })
+            .collect();
+        let messages: u64 = per_qp.iter().map(|q| q.messages).sum();
+        let requests: u64 = per_qp.iter().map(|q| q.requests).sum();
+        HandleMetrics {
+            messages,
+            requests,
+            degree: if messages == 0 {
+                0.0
+            } else {
+                requests as f64 / messages as f64
+            },
+            active_qps: per_qp.iter().filter(|q| q.active).count(),
+            threads: self.inner.threads.read().len(),
+            per_qp,
+        }
+    }
+
+    /// Shut down the handle's background threads.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for qp in &self.inner.qps {
+            qp.credit_cond.notify_all();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ConnectionHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl FlThread {
+    /// This thread's id within the handle.
+    pub fn id(&self) -> u32 {
+        self.ctx.id
+    }
+
+    /// The QP this thread currently sends on.
+    pub fn current_qp(&self) -> usize {
+        self.ctx.current_qp.load(Ordering::Relaxed)
+    }
+
+    /// Send an RPC request (`fl_send_rpc`); returns the sequence number to
+    /// pass to [`FlThread::recv_res`].
+    pub fn send_rpc(&self, rpc_id: u32, payload: &[u8]) -> Result<u64> {
+        let inner = &self.inner;
+        if inner.stop.load(Ordering::Relaxed) {
+            return Err(FlockError::Disconnected);
+        }
+        let qp_idx = self.migrate_if_idle();
+        let qp = &inner.qps[qp_idx];
+        let seq = self.ctx.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.ctx.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.ctx.req_sizes.lock().record(payload.len() as u32);
+        self.ctx
+            .bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.ctx.reqs.fetch_add(1, Ordering::Relaxed);
+
+        let meta = EntryMeta {
+            len: payload.len() as u32,
+            thread_id: self.ctx.id,
+            seq,
+            rpc_id,
+        };
+        match qp.tcq.join(ClientReq::Rpc(meta, payload.to_vec())) {
+            Outcome::Lead(batch) => leader_flush(inner, qp, batch)?,
+            Outcome::Sent => {}
+        }
+        Ok(seq)
+    }
+
+    /// Wait for the response to sequence `seq` (`fl_recv_res`).
+    pub fn recv_res(&self, seq: u64) -> Result<Vec<u8>> {
+        let deadline = Instant::now() + self.inner.cfg.timeout;
+        let mut inbox = self.ctx.inbox.lock();
+        loop {
+            if let Some(data) = inbox.remove(&seq) {
+                self.ctx.outstanding.fetch_sub(1, Ordering::Relaxed);
+                return Ok(data);
+            }
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return Err(FlockError::Disconnected);
+            }
+            if self
+                .ctx
+                .inbox_cond
+                .wait_until(&mut inbox, deadline)
+                .timed_out()
+            {
+                return Err(FlockError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking check for the response to `seq` (coroutine-style
+    /// pipelining, paper §8.5.2: a thread runs many concurrent
+    /// transactions and polls instead of blocking).
+    pub fn try_recv_res(&self, seq: u64) -> Option<Vec<u8>> {
+        let data = self.ctx.inbox.lock().remove(&seq)?;
+        self.ctx.outstanding.fetch_sub(1, Ordering::Relaxed);
+        Some(data)
+    }
+
+    /// Convenience: send and wait.
+    pub fn call(&self, rpc_id: u32, payload: &[u8]) -> Result<Vec<u8>> {
+        let seq = self.send_rpc(rpc_id, payload)?;
+        self.recv_res(seq)
+    }
+
+    /// One-sided read (`fl_read`) from advertised region `mem_idx`.
+    pub fn read(&self, mem_idx: usize, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let region = self.mem_region(mem_idx)?;
+        if len > MEM_SCRATCH {
+            return Err(FlockError::MessageTooLarge {
+                need: len,
+                capacity: MEM_SCRATCH,
+            });
+        }
+        let scratch = self.scratch_off();
+        let wr = SendWr::read(
+            WrId(0), // assigned in submit_mem
+            Sge {
+                lkey: self.inner.mem_mr.lkey(),
+                addr: self.inner.mem_mr.addr() + scratch as u64,
+                len,
+            },
+            RemoteAddr {
+                rkey: region.rkey,
+                addr: region.addr + offset,
+            },
+        );
+        self.submit_mem(wr, scratch, len)
+    }
+
+    /// One-sided write (`fl_write`) into advertised region `mem_idx`.
+    pub fn write(&self, mem_idx: usize, offset: u64, data: &[u8]) -> Result<()> {
+        let region = self.mem_region(mem_idx)?;
+        if data.len() > MEM_SCRATCH {
+            return Err(FlockError::MessageTooLarge {
+                need: data.len(),
+                capacity: MEM_SCRATCH,
+            });
+        }
+        let scratch = self.scratch_off();
+        self.inner.mem_mr.write(scratch, data)?;
+        let wr = SendWr::write(
+            WrId(0),
+            Sge {
+                lkey: self.inner.mem_mr.lkey(),
+                addr: self.inner.mem_mr.addr() + scratch as u64,
+                len: data.len(),
+            },
+            RemoteAddr {
+                rkey: region.rkey,
+                addr: region.addr + offset,
+            },
+        );
+        self.submit_mem(wr, scratch, 0).map(|_| ())
+    }
+
+    /// One-sided fetch-and-add (`fl_fetch_and_add`); returns the old value.
+    pub fn fetch_add(&self, mem_idx: usize, offset: u64, delta: u64) -> Result<u64> {
+        let region = self.mem_region(mem_idx)?;
+        let scratch = self.scratch_off();
+        let wr = SendWr::fetch_add(
+            WrId(0),
+            Sge {
+                lkey: self.inner.mem_mr.lkey(),
+                addr: self.inner.mem_mr.addr() + scratch as u64,
+                len: 8,
+            },
+            RemoteAddr {
+                rkey: region.rkey,
+                addr: region.addr + offset,
+            },
+            delta,
+        );
+        let old = self.submit_mem(wr, scratch, 8)?;
+        Ok(u64::from_le_bytes(old[..8].try_into().expect("8 bytes")))
+    }
+
+    /// One-sided compare-and-swap (`fl_cmp_and_swap`); returns the old
+    /// value (the swap happened iff it equals `expect`).
+    pub fn cmp_swap(&self, mem_idx: usize, offset: u64, expect: u64, swap: u64) -> Result<u64> {
+        let region = self.mem_region(mem_idx)?;
+        let scratch = self.scratch_off();
+        let wr = SendWr::cmp_swap(
+            WrId(0),
+            Sge {
+                lkey: self.inner.mem_mr.lkey(),
+                addr: self.inner.mem_mr.addr() + scratch as u64,
+                len: 8,
+            },
+            RemoteAddr {
+                rkey: region.rkey,
+                addr: region.addr + offset,
+            },
+            expect,
+            swap,
+        );
+        let old = self.submit_mem(wr, scratch, 8)?;
+        Ok(u64::from_le_bytes(old[..8].try_into().expect("8 bytes")))
+    }
+
+    fn mem_region(&self, idx: usize) -> Result<MemRegionInfo> {
+        self.inner
+            .mem_regions
+            .get(idx)
+            .copied()
+            .ok_or(FlockError::RemoteOpFailed("unknown memory region index"))
+    }
+
+    fn scratch_off(&self) -> usize {
+        self.ctx.id as usize * MEM_SCRATCH
+    }
+
+    /// Acquire scratch sub-slots covering `len` bytes. Returns the slot
+    /// bitmask and the byte offset within the thread's scratch region, or
+    /// `None` if the space is not currently free.
+    fn try_acquire_scratch(&self, len: usize) -> Option<(u8, usize)> {
+        let mut free = self.ctx.mem_free.lock();
+        if len <= MEM_SUBSLOT_SIZE {
+            for i in 0..MEM_SUBSLOTS {
+                let bit = 1u8 << i;
+                if *free & bit != 0 {
+                    *free &= !bit;
+                    return Some((bit, i * MEM_SUBSLOT_SIZE));
+                }
+            }
+            None
+        } else {
+            // Large ops take the whole scratch region exclusively.
+            if *free == 0xFF {
+                *free = 0;
+                Some((0xFF, 0))
+            } else {
+                None
+            }
+        }
+    }
+
+    fn acquire_scratch_blocking(&self, len: usize) -> Result<(u8, usize)> {
+        let deadline = Instant::now() + self.inner.cfg.timeout;
+        loop {
+            if let Some(got) = self.try_acquire_scratch(len) {
+                return Ok(got);
+            }
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return Err(FlockError::Disconnected);
+            }
+            if Instant::now() > deadline {
+                return Err(FlockError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Submit a one-sided op through the TCQ without waiting. The `wr`'s
+    /// local SGE must point at `scratch_off` within the thread's scratch.
+    fn start_mem(
+        &self,
+        mut wr: SendWr,
+        mask: u8,
+        scratch_off: usize,
+        result_len: usize,
+    ) -> Result<MemToken> {
+        let qp_idx = self.migrate_if_idle();
+        let qp = &self.inner.qps[qp_idx];
+        let wr_seq = self.inner.mem_wr_seq.fetch_add(1, Ordering::Relaxed);
+        let wr_id = ((self.ctx.id as u64) << 32) | (wr_seq & 0xFFFF_FFFF);
+        wr.wr_id = WrId(wr_id);
+        self.ctx.mem_pending.lock().insert(
+            wr_id,
+            MemPending {
+                mask,
+                scratch_off,
+                result_len,
+            },
+        );
+        // Memory ops also coalesce through Flock synchronization (§6): the
+        // leader links the batch's work requests into one doorbell.
+        match qp.tcq.join(ClientReq::Mem(wr)) {
+            Outcome::Lead(batch) => leader_flush(&self.inner, qp, batch)?,
+            Outcome::Sent => {}
+        }
+        Ok(MemToken { wr_id })
+    }
+
+    /// Non-blocking poll of an in-flight one-sided op.
+    pub fn try_mem(&self, token: MemToken) -> Option<Result<Vec<u8>>> {
+        let r = self.ctx.mem_results.lock().remove(&token.wr_id)?;
+        Some(r.map_err(FlockError::RemoteOpFailed))
+    }
+
+    /// Block until an in-flight one-sided op completes.
+    pub fn wait_mem(&self, token: MemToken) -> Result<Vec<u8>> {
+        let deadline = Instant::now() + self.inner.cfg.timeout;
+        let mut results = self.ctx.mem_results.lock();
+        loop {
+            if let Some(r) = results.remove(&token.wr_id) {
+                return r.map_err(FlockError::RemoteOpFailed);
+            }
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return Err(FlockError::Disconnected);
+            }
+            if self
+                .ctx
+                .mem_cond
+                .wait_until(&mut results, deadline)
+                .timed_out()
+            {
+                // Abandon: free the scratch when the completion arrives.
+                return Err(FlockError::Timeout);
+            }
+        }
+    }
+
+    /// Start a non-blocking one-sided read of up to one sub-slot
+    /// ([`MEM_SUBSLOT_SIZE`] bytes); poll with [`FlThread::try_mem`].
+    pub fn read_async(&self, mem_idx: usize, offset: u64, len: usize) -> Result<MemToken> {
+        let region = self.mem_region(mem_idx)?;
+        if len > MEM_SUBSLOT_SIZE {
+            return Err(FlockError::MessageTooLarge {
+                need: len,
+                capacity: MEM_SUBSLOT_SIZE,
+            });
+        }
+        let (mask, off) = self.acquire_scratch_blocking(len)?;
+        let scratch = self.scratch_off() + off;
+        let wr = SendWr::read(
+            WrId(0),
+            Sge {
+                lkey: self.inner.mem_mr.lkey(),
+                addr: self.inner.mem_mr.addr() + scratch as u64,
+                len,
+            },
+            RemoteAddr {
+                rkey: region.rkey,
+                addr: region.addr + offset,
+            },
+        );
+        self.start_mem(wr, mask, scratch, len)
+    }
+
+    /// Start a non-blocking one-sided write of up to one sub-slot.
+    pub fn write_async(&self, mem_idx: usize, offset: u64, data: &[u8]) -> Result<MemToken> {
+        let region = self.mem_region(mem_idx)?;
+        if data.len() > MEM_SUBSLOT_SIZE {
+            return Err(FlockError::MessageTooLarge {
+                need: data.len(),
+                capacity: MEM_SUBSLOT_SIZE,
+            });
+        }
+        let (mask, off) = self.acquire_scratch_blocking(data.len())?;
+        let scratch = self.scratch_off() + off;
+        self.inner.mem_mr.write(scratch, data)?;
+        let wr = SendWr::write(
+            WrId(0),
+            Sge {
+                lkey: self.inner.mem_mr.lkey(),
+                addr: self.inner.mem_mr.addr() + scratch as u64,
+                len: data.len(),
+            },
+            RemoteAddr {
+                rkey: region.rkey,
+                addr: region.addr + offset,
+            },
+        );
+        self.start_mem(wr, mask, scratch, 0)
+    }
+
+    /// Submit a one-sided op through the TCQ and wait for its completion.
+    fn submit_mem(&self, wr: SendWr, _scratch_off: usize, result_len: usize) -> Result<Vec<u8>> {
+        // `wr` was built against the start of the thread's scratch region;
+        // blocking ops take the whole region so the layout is unchanged.
+        let len = wr.op.byte_len();
+        let (mask, off) = self.acquire_scratch_blocking(len.max(MEM_SCRATCH - 1))?;
+        debug_assert_eq!((mask, off), (0xFF, 0));
+        let token = self.start_mem(wr, mask, self.scratch_off(), result_len)?;
+        self.wait_mem(token)
+    }
+
+    /// Adopt the scheduler's target QP if no requests are outstanding
+    /// (migration safety, §5.2).
+    fn migrate_if_idle(&self) -> usize {
+        let current = self.ctx.current_qp.load(Ordering::Relaxed);
+        let target = self.ctx.target_qp.load(Ordering::Relaxed);
+        if target != current && self.ctx.outstanding.load(Ordering::Relaxed) == 0 {
+            self.ctx.current_qp.store(target, Ordering::Relaxed);
+            return target;
+        }
+        current
+    }
+}
+
+/// The leader's flush: partition the batch, post one-sided work requests,
+/// encode the coalesced RPC message, manage credits and ring space, and
+/// issue the RDMA write(s) (paper §4.2, Figure 5).
+fn leader_flush(
+    inner: &HandleInner,
+    qp: &ClientQpCtx,
+    mut batch: crate::tcq::Batch<ClientReq>,
+) -> Result<()> {
+    let items = batch.take_items();
+    let result = flush_items(inner, qp, items);
+    // Always release followers, even on error: stranding them would
+    // deadlock unrelated threads. Their requests time out instead.
+    qp.tcq.complete(batch);
+    result
+}
+
+fn flush_items(inner: &HandleInner, qp: &ClientQpCtx, items: Vec<ClientReq>) -> Result<()> {
+    let mut rpcs: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
+    let mut mem_wrs: Vec<flock_fabric::SendWr> = Vec::new();
+    for item in items {
+        match item {
+            ClientReq::Rpc(meta, data) => rpcs.push((meta, data)),
+            ClientReq::Mem(wr) => mem_wrs.push(wr),
+        }
+    }
+    // One-sided ops are linked into a single chain and posted with one
+    // doorbell by the leader (paper §6).
+    if !mem_wrs.is_empty() {
+        qp.qp.post_send_many(&mem_wrs)?;
+    }
+    if rpcs.is_empty() {
+        return Ok(());
+    }
+    let degree = rpcs.len() as u32;
+    qp.degree.lock().record(degree);
+
+    wait_for_credits(inner, qp, degree)?;
+
+    let need = msg::encoded_size(rpcs.iter().map(|(_, d)| d.len()));
+    let canary = qp.next_canary();
+    let header = MsgHeader {
+        total_len: 0,
+        count: 0,
+        flags: 0,
+        canary,
+        head: qp.resp_head_shared.load(Ordering::Acquire),
+        aux: 0,
+    };
+
+    // Reserve ring space, refreshing the cached server head while full.
+    let deadline = Instant::now() + inner.cfg.timeout;
+    let reservation = loop {
+        let mut prod = qp.req_prod.lock();
+        prod.update_head(qp.server_head.load(Ordering::Acquire));
+        match prod.reserve(need) {
+            Ok(r) => break r,
+            Err(FlockError::RingFull { .. }) => {
+                drop(prod);
+                if inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if Instant::now() > deadline {
+                    return Err(FlockError::Timeout);
+                }
+                std::thread::yield_now();
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    // Stage and post the wrap record first, if needed.
+    if let Some((woff, wlen)) = reservation.wrap {
+        let rec = RingProducer::wrap_record(wlen, canary);
+        qp.staging.write(woff, &rec)?;
+        qp.qp.post_send(
+            SendWr::write(
+                WrId(0),
+                Sge {
+                    lkey: qp.staging.lkey(),
+                    addr: qp.staging.addr() + woff as u64,
+                    len: wlen,
+                },
+                RemoteAddr {
+                    rkey: qp.req_remote.rkey,
+                    addr: qp.req_remote.addr + woff as u64,
+                },
+            )
+            .unsignaled(),
+        )?;
+    }
+
+    // Encode the coalesced message into the staging mirror.
+    let entries: Vec<EntryRef<'_>> = rpcs
+        .iter()
+        .map(|(meta, data)| EntryRef { meta: *meta, data })
+        .collect();
+    qp.staging.with_write(|buf| {
+        msg::encode(
+            &mut buf[reservation.offset..reservation.offset + need],
+            &header,
+            &entries,
+        )
+        .map(|_| ())
+    })?;
+
+    // One RDMA write, one doorbell for the whole batch. Selective
+    // signaling: only every Nth write generates a completion.
+    let n = qp.write_count.fetch_add(1, Ordering::Relaxed);
+    let mut wr = SendWr::write(
+        WrId(u64::MAX), // distinguishes plain ring writes in the CQ
+        Sge {
+            lkey: qp.staging.lkey(),
+            addr: qp.staging.addr() + reservation.offset as u64,
+            len: need,
+        },
+        RemoteAddr {
+            rkey: qp.req_remote.rkey,
+            addr: qp.req_remote.addr + reservation.offset as u64,
+        },
+    );
+    if n % inner.cfg.signal_every != 0 {
+        wr = wr.unsignaled();
+    }
+    qp.qp.post_send(wr)?;
+    qp.messages_sent.fetch_add(1, Ordering::Relaxed);
+    qp.requests_sent.fetch_add(degree as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Consume `n` credits, requesting renewal when at half (paper §5.1).
+fn wait_for_credits(inner: &HandleInner, qp: &ClientQpCtx, n: u32) -> Result<()> {
+    let deadline = Instant::now() + inner.cfg.timeout;
+    loop {
+        let mut send_renewal = false;
+        {
+            let mut credits = qp.credits.lock();
+            if !qp.active.load(Ordering::Acquire) {
+                // Deactivated QP: drain without credits; threads migrate
+                // away for future requests.
+                break;
+            }
+            let consumed = credits.try_consume(n);
+            if credits.should_request_renewal() {
+                credits.mark_requested();
+                send_renewal = true;
+            }
+            if consumed {
+                if send_renewal {
+                    drop(credits);
+                    send_credit_request(qp)?;
+                }
+                return Ok(());
+            }
+            if !send_renewal {
+                if inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if qp
+                    .credit_cond
+                    .wait_until(&mut credits, deadline)
+                    .timed_out()
+                {
+                    return Err(FlockError::Timeout);
+                }
+                continue;
+            }
+        }
+        send_credit_request(qp)?;
+    }
+    Ok(())
+}
+
+/// Post the credit renewal as RDMA write-with-imm (paper §7): the imm word
+/// carries the QP index and the median coalescing degree since the last
+/// renewal.
+fn send_credit_request(qp: &ClientQpCtx) -> Result<()> {
+    let median = {
+        let mut w = qp.degree.lock();
+        let m = w.median().clamp(1, u16::MAX as u32) as u16;
+        w.clear();
+        m
+    };
+    let imm = ((qp.index as u32) << 16) | median as u32;
+    qp.qp.post_send(
+        SendWr::write_imm(
+            WrId(u64::MAX - 1),
+            Sge {
+                lkey: qp.staging.lkey(),
+                addr: qp.staging.addr(),
+                len: 0,
+            },
+            RemoteAddr {
+                rkey: qp.req_remote.rkey,
+                addr: qp.req_remote.addr,
+            },
+            imm,
+        )
+        .unsignaled(),
+    )?;
+    Ok(())
+}
+
+/// The response dispatcher (paper §4.3): polls every QP's response ring,
+/// routes entries to threads by thread id, folds in piggybacked heads and
+/// credit grants, and routes one-sided completions.
+fn dispatcher_loop(inner: &HandleInner) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        let mut progressed = false;
+        for qp in &inner.qps {
+            // Send-CQ: one-sided completions and (rare) ring-write errors.
+            while let Some(c) = qp.qp.send_cq().poll_one() {
+                progressed = true;
+                route_completion(inner, &c);
+            }
+            // Response ring.
+            let polled = { qp.resp_cons.lock().poll(&qp.resp_mr) };
+            match polled {
+                Ok(Some(m)) => {
+                    progressed = true;
+                    let head_after = { qp.resp_cons.lock().head() };
+                    qp.resp_head_shared.store(head_after, Ordering::Release);
+                    let view = m.view();
+                    let h = view.header;
+                    qp.server_head.fetch_max(h.head, Ordering::AcqRel);
+                    if h.flags & FLAG_CREDIT_GRANT != 0 {
+                        let (granted, _) = msg::unpack_aux(h.aux);
+                        let mut credits = qp.credits.lock();
+                        if granted == 0 {
+                            credits.decline();
+                            qp.active.store(false, Ordering::Release);
+                        } else {
+                            credits.grant(granted);
+                            qp.active.store(true, Ordering::Release);
+                        }
+                        qp.credit_cond.notify_all();
+                    }
+                    let threads = inner.threads.read();
+                    for (meta, data) in view.entries() {
+                        if let Some(t) = threads.get(meta.thread_id as usize) {
+                            t.inbox.lock().insert(meta.seq, data.to_vec());
+                            t.inbox_cond.notify_all();
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Corrupt ring: fatal for this connection.
+                    inner.stop.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    // Wake any waiting threads so they observe the stop flag.
+    for t in inner.threads.read().iter() {
+        t.inbox_cond.notify_all();
+        t.mem_cond.notify_all();
+    }
+}
+
+fn route_completion(inner: &HandleInner, c: &flock_fabric::Completion) {
+    // Ring writes use sentinel wr_ids; one-sided ops encode the thread id.
+    if c.wr_id.0 == u64::MAX || c.wr_id.0 == u64::MAX - 1 {
+        return; // signaled ring write or credit imm; errors surface below
+    }
+    if !matches!(
+        c.opcode,
+        CqOpcode::Read | CqOpcode::Write | CqOpcode::Atomic
+    ) {
+        return;
+    }
+    let thread_id = (c.wr_id.0 >> 32) as u32;
+    let threads = inner.threads.read();
+    let Some(t) = threads.get(thread_id as usize) else {
+        return;
+    };
+    let Some(p) = t.mem_pending.lock().remove(&c.wr_id.0) else {
+        return; // stale completion from a timed-out, abandoned op
+    };
+    let result = if c.is_ok() {
+        if p.result_len > 0 {
+            inner
+                .mem_mr
+                .read_vec(p.scratch_off, p.result_len)
+                .map_err(|_| "scratch read failed")
+        } else {
+            Ok(Vec::new())
+        }
+    } else {
+        Err("remote operation completed with error status")
+    };
+    // Release the scratch sub-slots, then publish the result.
+    *t.mem_free.lock() |= p.mask;
+    t.mem_results.lock().insert(c.wr_id.0, result);
+    t.mem_cond.notify_all();
+}
+
+/// Sender-side thread scheduler loop (paper §5.2, Algorithm 1).
+fn scheduler_loop(inner: &HandleInner) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(inner.cfg.sched_interval);
+        run_thread_scheduling(inner);
+    }
+}
+
+/// One scheduling pass; factored out for tests and ablations.
+pub(crate) fn run_thread_scheduling(inner: &HandleInner) {
+    let active: Vec<usize> = inner
+        .qps
+        .iter()
+        .filter(|q| q.active.load(Ordering::Relaxed))
+        .map(|q| q.index)
+        .collect();
+    let active = if active.is_empty() { vec![0] } else { active };
+    let threads = inner.threads.read();
+    if threads.is_empty() {
+        return;
+    }
+    let stats: Vec<ThreadLoadStats> = threads
+        .iter()
+        .map(|t| ThreadLoadStats {
+            thread_id: t.id,
+            median_req_size: t.req_sizes.lock().median(),
+            requests: t.reqs.swap(0, Ordering::Relaxed),
+            bytes: t.bytes.swap(0, Ordering::Relaxed),
+        })
+        .collect();
+    for (tid, rank) in assign_threads(&stats, active.len()) {
+        if let Some(t) = threads.get(tid as usize) {
+            t.target_qp.store(active[rank], Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_config_defaults_are_sane() {
+        let cfg = HandleConfig::default();
+        assert!(cfg.n_qps >= 1);
+        assert!(cfg.ring_capacity % 64 == 0);
+        assert!(cfg.coalescing);
+    }
+}

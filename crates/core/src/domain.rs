@@ -1,0 +1,199 @@
+//! Connection bootstrap: the out-of-band control plane.
+//!
+//! Real RDMA deployments exchange QP numbers, rkeys and ring addresses over
+//! TCP (or RDMA CM) before the first verb is posted. In this in-process
+//! reproduction the control plane is a name registry plus a channel-based
+//! request/reply handshake — it carries exactly the information a TCP
+//! bootstrap would.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Sender};
+use flock_fabric::{Fabric, FabricConfig, Node, NodeId, Qp, QpNum, Rkey};
+use parking_lot::Mutex;
+
+use crate::error::{FlockError, Result};
+
+/// Geometry of one ring buffer exposed to the peer.
+#[derive(Debug, Clone, Copy)]
+pub struct RingInfo {
+    /// Remote key of the memory region backing the ring.
+    pub rkey: Rkey,
+    /// Virtual address of the ring's first byte.
+    pub addr: u64,
+    /// Ring capacity in bytes.
+    pub capacity: usize,
+}
+
+/// A server memory region advertised for one-sided operations
+/// (`fl_attach_mreg`, paper Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct MemRegionInfo {
+    /// Remote key.
+    pub rkey: Rkey,
+    /// Base virtual address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+/// Connection request sent by a client to a listening server.
+pub struct ConnectRequest {
+    /// The client's node id.
+    pub client_node: NodeId,
+    /// The client's QPs, one per connection-handle lane.
+    pub client_qps: Vec<Arc<Qp>>,
+    /// Response rings on the client, one per QP (server writes here).
+    pub response_rings: Vec<RingInfo>,
+    /// Channel for the server's reply.
+    pub reply: Sender<Result<ConnectReply>>,
+}
+
+/// Server's reply to a [`ConnectRequest`].
+#[derive(Debug, Clone)]
+pub struct ConnectReply {
+    /// The server's node id.
+    pub server_node: NodeId,
+    /// The server's QP numbers paired 1:1 with the client's QPs.
+    pub server_qps: Vec<QpNum>,
+    /// Request rings on the server, one per QP (client writes here).
+    pub request_rings: Vec<RingInfo>,
+    /// Memory regions advertised for one-sided operations.
+    pub memory_regions: Vec<MemRegionInfo>,
+    /// Bootstrap credits per QP.
+    pub initial_credits: u32,
+    /// The sender id the server assigned to this client.
+    pub sender_id: u32,
+}
+
+/// The in-process "datacenter": a fabric plus a server name registry.
+pub struct FlockDomain {
+    fabric: Fabric,
+    listeners: Mutex<HashMap<String, Sender<ConnectRequest>>>,
+}
+
+impl FlockDomain {
+    /// Create a domain over a fabric with the given configuration.
+    pub fn new(config: FabricConfig) -> FlockDomain {
+        FlockDomain {
+            fabric: Fabric::new(config),
+            listeners: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Create a domain with default fabric configuration.
+    pub fn with_defaults() -> FlockDomain {
+        FlockDomain::new(FabricConfig::default())
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Attach a new machine to the domain.
+    pub fn add_node(&self, name: &str) -> Arc<Node> {
+        self.fabric.add_node(name)
+    }
+
+    /// Register a listening server under `name`. Returns the receive side
+    /// via the provided channel capacity.
+    pub(crate) fn register_listener(&self, name: &str, tx: Sender<ConnectRequest>) {
+        self.listeners.lock().insert(name.to_string(), tx);
+    }
+
+    /// Remove a listener (server shutdown).
+    pub(crate) fn unregister_listener(&self, name: &str) {
+        self.listeners.lock().remove(name);
+    }
+
+    /// Send a connection request to the named server and await the reply.
+    ///
+    /// Public so alternative clients (e.g., the FaRM-style baseline) can
+    /// perform the same handshake against a Flock server.
+    pub fn dial(&self, name: &str, req: ConnectRequest) -> Result<ConnectReply> {
+        let tx = self
+            .listeners
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FlockError::UnknownRemote(name.to_string()))?;
+        let (reply_tx, reply_rx) = bounded(1);
+        let req = ConnectRequest {
+            reply: reply_tx,
+            ..req
+        };
+        tx.send(req).map_err(|_| FlockError::Disconnected)?;
+        reply_rx.recv().map_err(|_| FlockError::Disconnected)?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_remote_is_an_error() {
+        let domain = FlockDomain::with_defaults();
+        let node = domain.add_node("c");
+        let (tx, _rx) = bounded(1);
+        let req = ConnectRequest {
+            client_node: node.id(),
+            client_qps: vec![],
+            response_rings: vec![],
+            reply: tx,
+        };
+        assert!(matches!(
+            domain.dial("nobody", req),
+            Err(FlockError::UnknownRemote(_))
+        ));
+    }
+
+    #[test]
+    fn listener_registry_roundtrip() {
+        let domain = FlockDomain::with_defaults();
+        let (tx, rx) = bounded(4);
+        domain.register_listener("srv", tx);
+        let node = domain.add_node("c");
+        let (dummy_tx, _d) = bounded(1);
+        // Dial from another thread; accept inline.
+        let handle = {
+            let req = ConnectRequest {
+                client_node: node.id(),
+                client_qps: vec![],
+                response_rings: vec![],
+                reply: dummy_tx,
+            };
+            std::thread::spawn({
+                let domain: &FlockDomain = &domain;
+                // SAFETY-free: scoped by join below; use Arc in real code.
+                let tx2 = domain.listeners.lock().get("srv").cloned().unwrap();
+                move || {
+                    let (reply_tx, reply_rx) = bounded(1);
+                    let req = ConnectRequest {
+                        reply: reply_tx,
+                        ..req
+                    };
+                    tx2.send(req).unwrap();
+                    reply_rx.recv().unwrap()
+                }
+            })
+        };
+        let req = rx.recv().unwrap();
+        req.reply
+            .send(Ok(ConnectReply {
+                server_node: NodeId(0),
+                server_qps: vec![],
+                request_rings: vec![],
+                memory_regions: vec![],
+                initial_credits: 32,
+                sender_id: 7,
+            }))
+            .unwrap();
+        let reply = handle.join().unwrap().unwrap();
+        assert_eq!(reply.sender_id, 7);
+        domain.unregister_listener("srv");
+        assert!(domain.listeners.lock().is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Flock's symbiotic send-recv scheduling (paper §5).
+//!
+//! * [`qp`] — receiver-side QP scheduling: the server bounds the number of
+//!   active QPs (`MAX_AQP`) and redistributes them across senders in
+//!   proportion to their utilization.
+//! * [`thread`] — sender-side thread scheduling: Algorithm 1, packing
+//!   application threads onto active QPs by request-size class and byte
+//!   quota to avoid head-of-line blocking.
+//!
+//! Both policies are pure state machines: the threaded runtime and the
+//! discrete-event models drive the same code.
+
+pub mod qp;
+pub mod thread;
+
+pub use qp::{QpScheduler, QpSchedulerConfig, SenderQp};
+pub use thread::{assign_threads, ThreadLoadStats};

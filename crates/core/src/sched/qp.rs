@@ -1,0 +1,342 @@
+//! Receiver-side QP scheduling (paper §5.1).
+//!
+//! The server bounds the number of QPs it actively serves (`MAX_AQP`,
+//! default 256 — chosen from the Figure 2(a) thrash point) and
+//! redistributes active QPs across senders every scheduling interval in
+//! proportion to utilization:
+//!
+//! ```text
+//!            ⎧ MAX_AQP · U_i / Σ_k U_k   if U_i > 0
+//!   AQP_i =  ⎨
+//!            ⎩ 1                          otherwise (dormant)
+//! ```
+//!
+//! where `U_{i,j}` is the sum of coalescing degrees reported in credit
+//! renewal requests on QP `j` of sender `i` since the last redistribution,
+//! and `U_i = Σ_j U_{i,j}`. Higher utilization means either more QP
+//! contention (higher coalescing degree) or more frequent renewals.
+
+use std::collections::BTreeMap;
+
+/// Default bound on server-active QPs (paper `MAX_AQP`).
+pub const DEFAULT_MAX_AQP: usize = 256;
+
+/// Configuration for the QP scheduler.
+#[derive(Debug, Clone)]
+pub struct QpSchedulerConfig {
+    /// Maximum number of QPs the server keeps active.
+    pub max_aqp: usize,
+    /// Credits granted per renewal.
+    pub grant_size: u32,
+}
+
+impl Default for QpSchedulerConfig {
+    fn default() -> Self {
+        QpSchedulerConfig {
+            max_aqp: DEFAULT_MAX_AQP,
+            grant_size: crate::credit::DEFAULT_CREDITS,
+        }
+    }
+}
+
+/// Identifies one QP of one sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SenderQp {
+    /// Sender (client node) id.
+    pub sender: u32,
+    /// QP index within that sender's connection handle.
+    pub qp: usize,
+}
+
+#[derive(Debug)]
+struct SenderState {
+    util: Vec<u64>,
+    active: Vec<bool>,
+}
+
+impl SenderState {
+    fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+    fn total_util(&self) -> u64 {
+        self.util.iter().sum()
+    }
+}
+
+/// The receiver-side QP scheduler.
+#[derive(Debug)]
+pub struct QpScheduler {
+    cfg: QpSchedulerConfig,
+    senders: BTreeMap<u32, SenderState>,
+}
+
+impl QpScheduler {
+    /// Create a scheduler.
+    pub fn new(cfg: QpSchedulerConfig) -> QpScheduler {
+        QpScheduler {
+            cfg,
+            senders: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QpSchedulerConfig {
+        &self.cfg
+    }
+
+    /// Register a sender with `n_qps` connections.
+    ///
+    /// A new sender receives the average active-QP count of existing
+    /// functioning senders (paper §5.1), clamped to `[1, n_qps]` and to
+    /// the remaining global budget.
+    pub fn register_sender(&mut self, sender: u32, n_qps: usize) {
+        assert!(n_qps >= 1);
+        let used: usize = self.senders.values().map(|s| s.active_count()).sum();
+        let initial = if self.senders.is_empty() {
+            n_qps.min(self.cfg.max_aqp)
+        } else {
+            let avg = (used / self.senders.len()).max(1);
+            avg.min(n_qps)
+                .min((self.cfg.max_aqp - used.min(self.cfg.max_aqp)).max(1))
+        };
+        let mut active = vec![false; n_qps];
+        for a in active.iter_mut().take(initial) {
+            *a = true;
+        }
+        self.senders.insert(
+            sender,
+            SenderState {
+                util: vec![0; n_qps],
+                active,
+            },
+        );
+    }
+
+    /// Whether `qp` of `sender` is currently active.
+    pub fn is_active(&self, sq: SenderQp) -> bool {
+        self.senders
+            .get(&sq.sender)
+            .and_then(|s| s.active.get(sq.qp))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Total active QPs across all senders.
+    pub fn total_active(&self) -> usize {
+        self.senders.values().map(|s| s.active_count()).sum()
+    }
+
+    /// Handle a credit renewal request carrying the reported median
+    /// coalescing degree. Returns `Some(grant)` if the QP is active and the
+    /// request is granted, `None` if declined (QP deactivated).
+    ///
+    /// The reported degree (at least 1 for any renewal) accumulates into
+    /// the QP's utilization for the next redistribution.
+    pub fn on_credit_request(&mut self, sq: SenderQp, median_degree: u16) -> Option<u32> {
+        let state = self.senders.get_mut(&sq.sender)?;
+        let util = state.util.get_mut(sq.qp)?;
+        *util += u64::from(median_degree.max(1));
+        if state.active[sq.qp] {
+            Some(self.cfg.grant_size)
+        } else {
+            None
+        }
+    }
+
+    /// Redistribute active QPs (end of a scheduling interval).
+    ///
+    /// Returns the list of `(SenderQp, now_active)` *changes* relative to
+    /// the previous assignment. Utilization counters reset afterwards.
+    pub fn redistribute(&mut self) -> Vec<(SenderQp, bool)> {
+        let total_util: u64 = self.senders.values().map(|s| s.total_util()).sum();
+        let max_aqp = self.cfg.max_aqp as u64;
+        let mut changes = Vec::new();
+
+        // Pass 1: compute each sender's AQP_i target.
+        let targets: Vec<(u32, usize)> = self
+            .senders
+            .iter()
+            .map(|(&id, s)| {
+                let u_i = s.total_util();
+                let n_qps = s.util.len();
+                let target = if u_i > 0 && total_util > 0 {
+                    (((max_aqp * u_i) / total_util) as usize).clamp(1, n_qps)
+                } else {
+                    1 // dormant senders keep one QP for future traffic
+                };
+                (id, target)
+            })
+            .collect();
+
+        // Pass 2: apply — within a sender, keep the most-utilized QPs.
+        for (id, target) in targets {
+            let s = self.senders.get_mut(&id).expect("sender exists");
+            let mut order: Vec<usize> = (0..s.util.len()).collect();
+            order.sort_by(|&a, &b| s.util[b].cmp(&s.util[a]).then(a.cmp(&b)));
+            let mut new_active = vec![false; s.util.len()];
+            for &qp in order.iter().take(target) {
+                new_active[qp] = true;
+            }
+            for qp in 0..s.util.len() {
+                if new_active[qp] != s.active[qp] {
+                    changes.push((SenderQp { sender: id, qp }, new_active[qp]));
+                }
+            }
+            s.active = new_active;
+            s.util.iter_mut().for_each(|u| *u = 0);
+        }
+        changes
+    }
+
+    /// Snapshot of the active flags for one sender (for tests/metrics).
+    pub fn active_map(&self, sender: u32) -> Option<Vec<bool>> {
+        self.senders.get(&sender).map(|s| s.active.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_aqp: usize) -> QpSchedulerConfig {
+        QpSchedulerConfig {
+            max_aqp,
+            grant_size: 32,
+        }
+    }
+
+    #[test]
+    fn first_sender_gets_all_its_qps_up_to_cap() {
+        let mut s = QpScheduler::new(cfg(8));
+        s.register_sender(0, 4);
+        assert_eq!(s.total_active(), 4);
+        s.register_sender(1, 16);
+        // New sender gets the average of functioning senders (4).
+        assert_eq!(s.active_map(1).unwrap().iter().filter(|a| **a).count(), 4);
+    }
+
+    #[test]
+    fn grants_only_on_active_qps() {
+        let mut s = QpScheduler::new(cfg(4));
+        s.register_sender(0, 8); // 4 active (cap)
+        assert_eq!(
+            s.on_credit_request(SenderQp { sender: 0, qp: 0 }, 2),
+            Some(32)
+        );
+        assert_eq!(s.on_credit_request(SenderQp { sender: 0, qp: 7 }, 2), None);
+    }
+
+    #[test]
+    fn redistribution_follows_utilization() {
+        let mut s = QpScheduler::new(cfg(8));
+        s.register_sender(0, 8);
+        s.register_sender(1, 8);
+        // Sender 0 is heavily contended; sender 1 barely active.
+        for _ in 0..9 {
+            s.on_credit_request(SenderQp { sender: 0, qp: 0 }, 8);
+        }
+        s.on_credit_request(SenderQp { sender: 1, qp: 0 }, 1);
+        s.redistribute();
+        let a0 = s.active_map(0).unwrap().iter().filter(|a| **a).count();
+        let a1 = s.active_map(1).unwrap().iter().filter(|a| **a).count();
+        assert!(a0 > a1, "contended sender should hold more active QPs");
+        assert!(a0 + a1 <= 8 + 1);
+        assert!(a1 >= 1);
+    }
+
+    #[test]
+    fn dormant_sender_keeps_one_qp() {
+        let mut s = QpScheduler::new(cfg(16));
+        s.register_sender(0, 8);
+        s.register_sender(1, 8);
+        s.on_credit_request(SenderQp { sender: 0, qp: 0 }, 4);
+        // Sender 1 reports nothing: dormant.
+        s.redistribute();
+        assert_eq!(s.active_map(1).unwrap().iter().filter(|a| **a).count(), 1);
+    }
+
+    #[test]
+    fn all_dormant_everyone_keeps_one() {
+        let mut s = QpScheduler::new(cfg(16));
+        s.register_sender(0, 4);
+        s.register_sender(1, 4);
+        s.redistribute();
+        assert_eq!(s.total_active(), 2);
+    }
+
+    #[test]
+    fn within_sender_most_utilized_qps_stay_active() {
+        let mut s = QpScheduler::new(cfg(2));
+        s.register_sender(0, 4);
+        // QP 3 and 1 are hot.
+        for _ in 0..5 {
+            s.on_credit_request(SenderQp { sender: 0, qp: 3 }, 6);
+            s.on_credit_request(SenderQp { sender: 0, qp: 1 }, 4);
+        }
+        s.on_credit_request(SenderQp { sender: 0, qp: 0 }, 1);
+        s.redistribute();
+        let map = s.active_map(0).unwrap();
+        assert!(map[3] && map[1]);
+        assert!(!map[0] && !map[2]);
+    }
+
+    #[test]
+    fn redistribute_reports_changes_only() {
+        let mut s = QpScheduler::new(cfg(4));
+        s.register_sender(0, 4); // all 4 active
+        for qp in 0..4 {
+            s.on_credit_request(SenderQp { sender: 0, qp }, 2);
+        }
+        let changes = s.redistribute();
+        // Sole sender keeps all 4 active: no changes.
+        assert!(changes.is_empty(), "{changes:?}");
+
+        // A hot second sender joins: the budget shifts away from sender 0.
+        s.register_sender(1, 4);
+        for _ in 0..8 {
+            s.on_credit_request(SenderQp { sender: 1, qp: 0 }, 8);
+            s.on_credit_request(SenderQp { sender: 1, qp: 1 }, 8);
+        }
+        s.on_credit_request(SenderQp { sender: 0, qp: 0 }, 1);
+        let changes = s.redistribute();
+        let deact_s0 = changes
+            .iter()
+            .filter(|(sq, a)| sq.sender == 0 && !a)
+            .count();
+        let act_s1 = changes
+            .iter()
+            .filter(|(sq, a)| sq.sender == 1 && *a)
+            .count();
+        assert!(deact_s0 >= 2, "{changes:?}");
+        assert!(act_s1 >= 1, "{changes:?}");
+        // Sender 0's surviving active QP is its utilized one (qp 0).
+        assert!(s.is_active(SenderQp { sender: 0, qp: 0 }));
+    }
+
+    #[test]
+    fn utilization_resets_each_interval() {
+        let mut s = QpScheduler::new(cfg(8));
+        s.register_sender(0, 4);
+        s.register_sender(1, 4);
+        for _ in 0..10 {
+            s.on_credit_request(SenderQp { sender: 0, qp: 0 }, 9);
+        }
+        s.redistribute();
+        // Next interval: only sender 1 is active; the old utilization of
+        // sender 0 must not leak in.
+        for _ in 0..10 {
+            s.on_credit_request(SenderQp { sender: 1, qp: 0 }, 9);
+        }
+        s.redistribute();
+        let a0 = s.active_map(0).unwrap().iter().filter(|a| **a).count();
+        let a1 = s.active_map(1).unwrap().iter().filter(|a| **a).count();
+        assert!(a1 > a0);
+    }
+
+    #[test]
+    fn unknown_sender_requests_are_ignored() {
+        let mut s = QpScheduler::new(cfg(4));
+        assert_eq!(s.on_credit_request(SenderQp { sender: 9, qp: 0 }, 1), None);
+        assert!(!s.is_active(SenderQp { sender: 9, qp: 0 }));
+    }
+}

@@ -1,0 +1,620 @@
+//! The server side of Flock: accepting connections, the request
+//! dispatcher (paper §4.3), response coalescing, and the receiver-side QP
+//! scheduler with credit renewal over write-with-imm (§5.1, §7).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use flock_fabric::{
+    Access, CqOpcode, MemoryRegion, Node, NodeId, Qp, RecvWr, RemoteAddr, SendWr, Sge, Transport,
+    WrId,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::domain::{ConnectReply, ConnectRequest, FlockDomain, MemRegionInfo, RingInfo};
+use crate::error::{FlockError, Result};
+use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
+use crate::ring::{RingConsumer, RingLayout, RingProducer};
+use crate::sched::qp::{QpScheduler, QpSchedulerConfig, SenderQp};
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Request/response ring capacity per QP (bytes).
+    pub ring_capacity: usize,
+    /// Receiver-side QP scheduler parameters.
+    pub sched: QpSchedulerConfig,
+    /// QP redistribution interval.
+    pub sched_interval: Duration,
+    /// Receive buffers posted per QP for credit-renewal immediates.
+    pub imm_recv_depth: usize,
+    /// Signal every Nth response write.
+    pub signal_every: u64,
+    /// Blocking-wait timeout.
+    pub timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            ring_capacity: 1 << 16,
+            sched: QpSchedulerConfig::default(),
+            sched_interval: Duration::from_millis(10),
+            imm_recv_depth: 64,
+            signal_every: 64,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// An RPC handler: bytes in, bytes out.
+pub type Handler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// A request pulled via the manual API (`fl_recv_rpc`).
+pub struct IncomingRpc {
+    /// The registered RPC id.
+    pub rpc_id: u32,
+    /// Request payload.
+    pub data: Vec<u8>,
+    /// Token to pass to [`FlockServer::send_res`].
+    pub token: RpcToken,
+}
+
+/// Identifies the request's origin for `fl_send_res`.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcToken {
+    conn: usize,
+    qp: usize,
+    meta: EntryMeta,
+}
+
+struct ServerQpCtx {
+    qp: Arc<Qp>,
+    req_mr: Arc<MemoryRegion>,
+    req_cons: Mutex<RingConsumer>,
+    resp_prod: Mutex<RingProducer>,
+    resp_remote: RingInfo,
+    staging: Arc<MemoryRegion>,
+    /// Client's response-ring consumed head (piggybacked on requests).
+    client_resp_head: AtomicU64,
+    write_count: AtomicU64,
+    canary_seq: AtomicU64,
+}
+
+impl ServerQpCtx {
+    fn next_canary(&self) -> u64 {
+        0xC0DE_0000_0000_0001 + self.canary_seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+struct ServerConn {
+    sender_id: u32,
+    #[allow(dead_code)]
+    client_node: NodeId,
+    qps: Vec<ServerQpCtx>,
+}
+
+/// Aggregate server statistics.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Coalesced request messages received.
+    pub messages: AtomicU64,
+    /// Individual RPC requests processed.
+    pub requests: AtomicU64,
+    /// Credit renewals granted.
+    pub grants: AtomicU64,
+    /// Credit renewals declined.
+    pub declines: AtomicU64,
+}
+
+impl ServerStats {
+    /// Observed mean coalescing degree (requests per message).
+    pub fn mean_coalescing_degree(&self) -> f64 {
+        let m = self.messages.load(Ordering::Relaxed);
+        if m == 0 {
+            0.0
+        } else {
+            self.requests.load(Ordering::Relaxed) as f64 / m as f64
+        }
+    }
+}
+
+struct ServerInner {
+    node: Arc<Node>,
+    cfg: ServerConfig,
+    handlers: RwLock<HashMap<u32, Handler>>,
+    conns: RwLock<Vec<Arc<ServerConn>>>,
+    qpn_map: RwLock<HashMap<u32, (usize, usize)>>,
+    qp_sched: Mutex<QpScheduler>,
+    mem_mrs: RwLock<Vec<Arc<MemoryRegion>>>,
+    imm_cq: Arc<flock_fabric::CompletionQueue>,
+    manual_tx: Sender<IncomingRpc>,
+    manual_rx: Receiver<IncomingRpc>,
+    stats: ServerStats,
+    stop: AtomicBool,
+}
+
+/// A Flock RPC server bound to one node.
+pub struct FlockServer {
+    inner: Arc<ServerInner>,
+    name: String,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl FlockServer {
+    /// Start a server on `node`, listening in the domain registry as
+    /// `name`. Spawns the accept, dispatcher, and QP-scheduler threads.
+    pub fn listen(
+        domain: &FlockDomain,
+        node: &Arc<Node>,
+        name: &str,
+        cfg: ServerConfig,
+    ) -> FlockServer {
+        let (manual_tx, manual_rx) = unbounded();
+        let imm_cq = node.create_cq(4096);
+        let inner = Arc::new(ServerInner {
+            node: Arc::clone(node),
+            cfg: cfg.clone(),
+            handlers: RwLock::new(HashMap::new()),
+            conns: RwLock::new(Vec::new()),
+            qpn_map: RwLock::new(HashMap::new()),
+            qp_sched: Mutex::new(QpScheduler::new(cfg.sched.clone())),
+            mem_mrs: RwLock::new(Vec::new()),
+            imm_cq,
+            manual_tx,
+            manual_rx,
+            stats: ServerStats::default(),
+            stop: AtomicBool::new(false),
+        });
+
+        let (accept_tx, accept_rx) = unbounded::<ConnectRequest>();
+        domain.register_listener(name, accept_tx);
+
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fl-accept-{name}"))
+                    .spawn(move || accept_loop(&inner, accept_rx))
+                    .expect("spawn accept thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fl-dispatch-{name}"))
+                    .spawn(move || dispatch_loop(&inner))
+                    .expect("spawn dispatcher"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fl-qpsched-{name}"))
+                    .spawn(move || qp_sched_loop(&inner))
+                    .expect("spawn qp scheduler"),
+            );
+        }
+
+        FlockServer {
+            inner,
+            name: name.to_string(),
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Register the handler for `rpc_id` (`fl_reg_handler`).
+    pub fn reg_handler(&self, rpc_id: u32, f: impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static) {
+        self.inner.handlers.write().insert(rpc_id, Arc::new(f));
+    }
+
+    /// Register a memory region of `len` bytes for one-sided operations
+    /// (`fl_attach_mreg`). Must be called before clients connect. Returns
+    /// the region index clients use.
+    pub fn attach_mreg(&self, len: usize) -> usize {
+        let mr = self.inner.node.register_mr(len, Access::REMOTE_ALL);
+        let mut mrs = self.inner.mem_mrs.write();
+        mrs.push(mr);
+        mrs.len() - 1
+    }
+
+    /// Direct access to an attached region (server-local reads/writes).
+    pub fn mem_region(&self, idx: usize) -> Option<Arc<MemoryRegion>> {
+        self.inner.mem_mrs.read().get(idx).cloned()
+    }
+
+    /// Pull a request with no registered handler (`fl_recv_rpc`).
+    pub fn recv_rpc(&self, timeout: Duration) -> Option<IncomingRpc> {
+        self.inner.manual_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Respond to a request obtained via [`FlockServer::recv_rpc`]
+    /// (`fl_send_res`).
+    pub fn send_res(&self, token: RpcToken, data: &[u8]) -> Result<()> {
+        let conns = self.inner.conns.read();
+        let conn = conns.get(token.conn).ok_or(FlockError::Disconnected)?;
+        let qp = conn.qps.get(token.qp).ok_or(FlockError::Disconnected)?;
+        let meta = EntryMeta {
+            len: data.len() as u32,
+            rpc_id: 0,
+            ..token.meta
+        };
+        flush_response(&self.inner, qp, &[(meta, data.to_vec())], 0, 0)
+    }
+
+    /// Server statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// Number of QPs currently active under the scheduler.
+    pub fn active_qps(&self) -> usize {
+        self.inner.qp_sched.lock().total_active()
+    }
+
+    /// Stop all server threads and unregister from `domain`.
+    pub fn shutdown(&self, domain: &FlockDomain) {
+        domain.unregister_listener(&self.name);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accept loop: performs the connection handshake (paper §3's
+/// `fl_connect` server side).
+fn accept_loop(inner: &Arc<ServerInner>, rx: Receiver<ConnectRequest>) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        let Ok(req) = rx.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        let reply = accept_one(inner, &req);
+        let _ = req.reply.send(reply);
+    }
+}
+
+fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectReply> {
+    let n = req.client_qps.len();
+    if n == 0 || req.response_rings.len() != n {
+        return Err(FlockError::CorruptMessage("malformed connect request"));
+    }
+    let mut conns = inner.conns.write();
+    let conn_idx = conns.len();
+    let sender_id = conn_idx as u32;
+
+    let send_cq = inner.node.create_cq(1024);
+    let mut qps = Vec::with_capacity(n);
+    let mut server_qpns = Vec::with_capacity(n);
+    let mut request_rings = Vec::with_capacity(n);
+    for (i, client_qp) in req.client_qps.iter().enumerate() {
+        let qp = inner.node.create_qp(Transport::Rc, &send_cq, &inner.imm_cq);
+        flock_fabric::connect_qps(client_qp, &qp)?;
+        let req_mr = inner
+            .node
+            .register_mr(inner.cfg.ring_capacity, Access::REMOTE_WRITE);
+        let staging = inner
+            .node
+            .register_mr(inner.cfg.ring_capacity, Access::LOCAL);
+        // Post receive slots for credit-renewal write-with-imm.
+        for _ in 0..inner.cfg.imm_recv_depth {
+            qp.post_recv(RecvWr {
+                wr_id: WrId(0),
+                local: Sge {
+                    lkey: req_mr.lkey(),
+                    addr: req_mr.addr(),
+                    len: 0,
+                },
+            })?;
+        }
+        server_qpns.push(qp.qpn());
+        request_rings.push(RingInfo {
+            rkey: req_mr.rkey(),
+            addr: req_mr.addr(),
+            capacity: inner.cfg.ring_capacity,
+        });
+        inner.qpn_map.write().insert(qp.qpn().0, (conn_idx, i));
+        qps.push(ServerQpCtx {
+            qp,
+            req_mr,
+            req_cons: Mutex::new(RingConsumer::new(RingLayout::new(
+                0,
+                inner.cfg.ring_capacity,
+            ))),
+            resp_prod: Mutex::new(RingProducer::new(RingLayout::new(
+                0,
+                req.response_rings[i].capacity,
+            ))),
+            resp_remote: req.response_rings[i],
+            staging,
+            client_resp_head: AtomicU64::new(0),
+            write_count: AtomicU64::new(0),
+            canary_seq: AtomicU64::new(0),
+        });
+    }
+
+    inner.qp_sched.lock().register_sender(sender_id, n);
+    conns.push(Arc::new(ServerConn {
+        sender_id,
+        client_node: req.client_node,
+        qps,
+    }));
+
+    let memory_regions: Vec<MemRegionInfo> = inner
+        .mem_mrs
+        .read()
+        .iter()
+        .map(|mr| MemRegionInfo {
+            rkey: mr.rkey(),
+            addr: mr.addr(),
+            len: mr.len(),
+        })
+        .collect();
+
+    Ok(ConnectReply {
+        server_node: inner.node.id(),
+        server_qps: server_qpns,
+        request_rings,
+        memory_regions,
+        initial_credits: inner.cfg.sched.grant_size,
+        sender_id,
+    })
+}
+
+/// The request dispatcher: polls request rings, runs handlers, coalesces
+/// responses per message, and piggybacks the consumed head.
+fn dispatch_loop(inner: &Arc<ServerInner>) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        let conns: Vec<Arc<ServerConn>> = inner.conns.read().clone();
+        let mut progressed = false;
+        for (conn_idx, conn) in conns.iter().enumerate() {
+            for (qp_idx, qp) in conn.qps.iter().enumerate() {
+                // Drain signaled response-write completions.
+                while qp.qp.send_cq().poll_one().is_some() {}
+                let polled = { qp.req_cons.lock().poll(&qp.req_mr) };
+                match polled {
+                    Ok(Some(m)) => {
+                        progressed = true;
+                        let view = m.view();
+                        qp.client_resp_head
+                            .fetch_max(view.header.head, Ordering::AcqRel);
+                        inner.stats.messages.fetch_add(1, Ordering::Relaxed);
+                        let handlers = inner.handlers.read();
+                        let mut responses: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
+                        for (meta, data) in view.entries() {
+                            inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = handlers.get(&meta.rpc_id) {
+                                let out = h(data);
+                                responses.push((
+                                    EntryMeta {
+                                        len: out.len() as u32,
+                                        thread_id: meta.thread_id,
+                                        seq: meta.seq,
+                                        rpc_id: 0,
+                                    },
+                                    out,
+                                ));
+                            } else {
+                                let _ = inner.manual_tx.send(IncomingRpc {
+                                    rpc_id: meta.rpc_id,
+                                    data: data.to_vec(),
+                                    token: RpcToken {
+                                        conn: conn_idx,
+                                        qp: qp_idx,
+                                        meta,
+                                    },
+                                });
+                            }
+                        }
+                        drop(handlers);
+                        if !responses.is_empty() {
+                            // Responses coalesce into one message, like
+                            // requests (paper §4.3).
+                            let _ = flush_response(inner, qp, &responses, 0, 0);
+                        } else {
+                            // Nothing to send now, but the consumed head
+                            // must still reach the client eventually; a
+                            // zero-entry message carries it.
+                            let _ = flush_response(inner, qp, &[], 0, 0);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        // Corrupt request ring: drop the message stream.
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Encode and post one coalesced response message on `qp`.
+fn flush_response(
+    inner: &ServerInner,
+    qp: &ServerQpCtx,
+    responses: &[(EntryMeta, Vec<u8>)],
+    extra_flags: u16,
+    aux: u64,
+) -> Result<()> {
+    let need = msg::encoded_size(responses.iter().map(|(_, d)| d.len()));
+    let canary = qp.next_canary();
+    let consumed_head = { qp.req_cons.lock().head() };
+    let header = MsgHeader {
+        total_len: 0,
+        count: 0,
+        flags: extra_flags,
+        canary,
+        head: consumed_head,
+        aux,
+    };
+
+    let deadline = Instant::now() + inner.cfg.timeout;
+    let reservation = loop {
+        let mut prod = qp.resp_prod.lock();
+        prod.update_head(qp.client_resp_head.load(Ordering::Acquire));
+        match prod.reserve(need) {
+            Ok(r) => break r,
+            Err(FlockError::RingFull { .. }) => {
+                drop(prod);
+                if inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if Instant::now() > deadline {
+                    return Err(FlockError::Timeout);
+                }
+                std::thread::yield_now();
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    if let Some((woff, wlen)) = reservation.wrap {
+        let rec = RingProducer::wrap_record(wlen, canary);
+        qp.staging.write(woff, &rec)?;
+        qp.qp.post_send(
+            SendWr::write(
+                WrId(0),
+                Sge {
+                    lkey: qp.staging.lkey(),
+                    addr: qp.staging.addr() + woff as u64,
+                    len: wlen,
+                },
+                RemoteAddr {
+                    rkey: qp.resp_remote.rkey,
+                    addr: qp.resp_remote.addr + woff as u64,
+                },
+            )
+            .unsignaled(),
+        )?;
+    }
+
+    let entries: Vec<EntryRef<'_>> = responses
+        .iter()
+        .map(|(meta, data)| EntryRef { meta: *meta, data })
+        .collect();
+    qp.staging.with_write(|buf| {
+        msg::encode(
+            &mut buf[reservation.offset..reservation.offset + need],
+            &header,
+            &entries,
+        )
+        .map(|_| ())
+    })?;
+
+    let nwrite = qp.write_count.fetch_add(1, Ordering::Relaxed);
+    let mut wr = SendWr::write(
+        WrId(u64::MAX),
+        Sge {
+            lkey: qp.staging.lkey(),
+            addr: qp.staging.addr() + reservation.offset as u64,
+            len: need,
+        },
+        RemoteAddr {
+            rkey: qp.resp_remote.rkey,
+            addr: qp.resp_remote.addr + reservation.offset as u64,
+        },
+    );
+    if nwrite % inner.cfg.signal_every != 0 {
+        wr = wr.unsignaled();
+    }
+    qp.qp.post_send(wr)?;
+    Ok(())
+}
+
+/// QP scheduler loop: polls the shared receive CQ for credit-renewal
+/// immediates, grants or declines, and periodically redistributes active
+/// QPs (paper §5.1, §7).
+fn qp_sched_loop(inner: &Arc<ServerInner>) {
+    let mut last_redistribution = Instant::now();
+    while !inner.stop.load(Ordering::Relaxed) {
+        let mut progressed = false;
+        while let Some(c) = inner.imm_cq.poll_one() {
+            progressed = true;
+            if c.opcode != CqOpcode::RecvImm {
+                continue;
+            }
+            let Some(imm) = c.imm else { continue };
+            let lookup = { inner.qpn_map.read().get(&c.qpn.0).copied() };
+            let Some((conn_idx, qp_idx)) = lookup else {
+                continue;
+            };
+            let conns = inner.conns.read();
+            let Some(conn) = conns.get(conn_idx) else {
+                continue;
+            };
+            let qp = &conn.qps[qp_idx];
+            // Re-post the consumed receive slot.
+            let _ = qp.qp.post_recv(RecvWr {
+                wr_id: WrId(0),
+                local: Sge {
+                    lkey: qp.req_mr.lkey(),
+                    addr: qp.req_mr.addr(),
+                    len: 0,
+                },
+            });
+            let median_degree = (imm & 0xFFFF) as u16;
+            let decision = inner.qp_sched.lock().on_credit_request(
+                SenderQp {
+                    sender: conn.sender_id,
+                    qp: qp_idx,
+                },
+                median_degree,
+            );
+            let (granted, flag) = match decision {
+                Some(credits) => {
+                    inner.stats.grants.fetch_add(1, Ordering::Relaxed);
+                    (credits, FLAG_CREDIT_GRANT)
+                }
+                None => {
+                    inner.stats.declines.fetch_add(1, Ordering::Relaxed);
+                    (0, FLAG_CREDIT_GRANT)
+                }
+            };
+            let _ = flush_response(inner, qp, &[], flag, msg::pack_aux(granted, 0));
+        }
+
+        if last_redistribution.elapsed() >= inner.cfg.sched_interval {
+            last_redistribution = Instant::now();
+            let changes = inner.qp_sched.lock().redistribute();
+            if !changes.is_empty() {
+                let conns = inner.conns.read();
+                for (sq, now_active) in changes {
+                    let Some(conn) = conns.iter().find(|c| c.sender_id == sq.sender) else {
+                        continue;
+                    };
+                    let Some(qp) = conn.qps.get(sq.qp) else {
+                        continue;
+                    };
+                    // Proactively notify the client: reactivation carries a
+                    // fresh grant, deactivation a zero grant.
+                    let credits = if now_active {
+                        inner.cfg.sched.grant_size
+                    } else {
+                        0
+                    };
+                    let _ = flush_response(
+                        inner,
+                        qp,
+                        &[],
+                        FLAG_CREDIT_GRANT,
+                        msg::pack_aux(credits, 0),
+                    );
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}

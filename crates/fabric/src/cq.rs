@@ -1,0 +1,170 @@
+//! Completion queues.
+//!
+//! A [`CompletionQueue`] buffers [`Completion`] entries DMA-ed by the NIC
+//! engine; applications poll it (`ibv_poll_cq` style). A condition variable
+//! is provided for tests and examples that prefer blocking waits over
+//! spin-polling.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::verbs::Completion;
+
+/// A completion queue shared between the NIC engine (producer) and
+/// application threads (consumers).
+#[derive(Debug)]
+pub struct CompletionQueue {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner {
+    entries: VecDeque<Completion>,
+    high_water: usize,
+    pushed: u64,
+}
+
+impl CompletionQueue {
+    /// Create an empty CQ. `capacity` is a sizing hint; the queue grows as
+    /// needed (real CQ overflow is fatal; we track the high-water mark
+    /// instead so tests can assert on sizing).
+    pub fn new(capacity: usize) -> Arc<CompletionQueue> {
+        Arc::new(CompletionQueue {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::with_capacity(capacity),
+                high_water: 0,
+                pushed: 0,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// NIC-side: enqueue a completion.
+    pub fn push(&self, c: Completion) {
+        let mut inner = self.inner.lock();
+        inner.entries.push_back(c);
+        let len = inner.entries.len();
+        if len > inner.high_water {
+            inner.high_water = len;
+        }
+        inner.pushed += 1;
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Poll up to `max` completions into `out`; returns how many were moved.
+    /// Never blocks.
+    pub fn poll(&self, out: &mut Vec<Completion>, max: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.entries.len());
+        out.extend(inner.entries.drain(..n));
+        n
+    }
+
+    /// Poll a single completion without blocking.
+    pub fn poll_one(&self) -> Option<Completion> {
+        self.inner.lock().entries.pop_front()
+    }
+
+    /// Block until a completion is available or `timeout` elapses.
+    pub fn wait_one(&self, timeout: Duration) -> Option<Completion> {
+        let mut inner = self.inner.lock();
+        if let Some(c) = inner.entries.pop_front() {
+            return Some(c);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.cond.wait_until(&mut inner, deadline).timed_out() {
+                return inner.entries.pop_front();
+            }
+            if let Some(c) = inner.entries.pop_front() {
+                return Some(c);
+            }
+        }
+    }
+
+    /// Number of queued completions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Maximum queue depth observed.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().high_water
+    }
+
+    /// Total completions ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QpNum, WrId};
+    use crate::verbs::{CqOpcode, CqStatus};
+
+    fn comp(id: u64) -> Completion {
+        Completion {
+            wr_id: WrId(id),
+            status: CqStatus::Success,
+            opcode: CqOpcode::Send,
+            byte_len: 0,
+            imm: None,
+            src: None,
+            qpn: QpNum(0),
+        }
+    }
+
+    #[test]
+    fn poll_drains_fifo() {
+        let cq = CompletionQueue::new(8);
+        for i in 0..5 {
+            cq.push(comp(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(cq.poll(&mut out, 3), 3);
+        assert_eq!(out.iter().map(|c| c.wr_id.0).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(cq.len(), 2);
+        assert_eq!(cq.poll(&mut out, 10), 2);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn poll_one_and_counters() {
+        let cq = CompletionQueue::new(2);
+        assert!(cq.poll_one().is_none());
+        cq.push(comp(9));
+        cq.push(comp(10));
+        assert_eq!(cq.poll_one().unwrap().wr_id, WrId(9));
+        assert_eq!(cq.total_pushed(), 2);
+        assert_eq!(cq.high_water(), 2);
+    }
+
+    #[test]
+    fn wait_one_times_out_when_empty() {
+        let cq = CompletionQueue::new(1);
+        assert!(cq.wait_one(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn wait_one_wakes_on_push() {
+        let cq = CompletionQueue::new(1);
+        let cq2 = Arc::clone(&cq);
+        let t = std::thread::spawn(move || cq2.wait_one(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        cq.push(comp(77));
+        let got = t.join().unwrap();
+        assert_eq!(got.unwrap().wr_id, WrId(77));
+    }
+}

@@ -1,0 +1,263 @@
+//! The fabric: the set of nodes, their NIC engines, and connection setup.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cache::ConnCache;
+use crate::cq::CompletionQueue;
+use crate::mr::{Access, MemoryRegion, MrTable};
+use crate::nic::{engine_loop, NicCmd, NicStats};
+use crate::qp::Qp;
+use crate::timing::CostModel;
+use crate::types::{FabricError, NodeId, QpNum, Result, Transport};
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// The timing/cost model (used for accounting and by DES models).
+    pub cost: CostModel,
+    /// Probability that a UD datagram is silently lost (loss injection for
+    /// exercising software reliability layers). RC traffic never drops.
+    pub ud_drop_probability: f64,
+    /// Seed for loss injection and any other fabric randomness.
+    pub seed: u64,
+    /// NIC connection-cache entries per node (overrides the cost model's
+    /// value for the stats cache attached to each node).
+    pub nic_cache_entries: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        let cost = CostModel::default();
+        let entries = cost.nic_cache_entries;
+        FabricConfig {
+            cost,
+            ud_drop_probability: 0.0,
+            seed: 0x5EED,
+            nic_cache_entries: entries,
+        }
+    }
+}
+
+/// Shared fabric state, visible to NIC engines.
+#[derive(Debug)]
+pub struct FabricInner {
+    pub(crate) nodes: RwLock<HashMap<NodeId, Arc<Node>>>,
+    pub(crate) config: FabricConfig,
+    next_node: AtomicU32,
+}
+
+impl FabricInner {
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> Result<Arc<Node>> {
+        self.nodes
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(FabricError::NodeNotFound(id))
+    }
+}
+
+/// A machine attached to the fabric: registered memory, queue pairs, a NIC
+/// engine with a connection cache, and statistics.
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    name: String,
+    mrs: MrTable,
+    qps: RwLock<HashMap<QpNum, Arc<Qp>>>,
+    next_qpn: AtomicU32,
+    cache: Mutex<ConnCache>,
+    stats: NicStats,
+    engine_tx: Sender<NicCmd>,
+}
+
+impl Node {
+    /// Node identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's memory-region table.
+    pub fn mrs(&self) -> &MrTable {
+        &self.mrs
+    }
+
+    /// The node's NIC connection cache (stats-bearing LRU model).
+    pub fn cache(&self) -> &Mutex<ConnCache> {
+        &self.cache
+    }
+
+    /// NIC statistics.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// Register a zeroed memory region of `len` bytes.
+    pub fn register_mr(&self, len: usize, access: Access) -> Arc<MemoryRegion> {
+        self.mrs.register(len, access)
+    }
+
+    /// Create a completion queue.
+    pub fn create_cq(&self, capacity: usize) -> Arc<CompletionQueue> {
+        CompletionQueue::new(capacity)
+    }
+
+    /// Create a queue pair in the `Init` state.
+    pub fn create_qp(
+        &self,
+        transport: Transport,
+        send_cq: &Arc<CompletionQueue>,
+        recv_cq: &Arc<CompletionQueue>,
+    ) -> Arc<Qp> {
+        let qpn = QpNum(self.next_qpn.fetch_add(1, Ordering::Relaxed));
+        let qp = Qp::new(
+            self.id,
+            qpn,
+            transport,
+            Arc::clone(send_cq),
+            Arc::clone(recv_cq),
+            self.engine_tx.clone(),
+        );
+        self.qps.write().insert(qpn, Arc::clone(&qp));
+        qp
+    }
+
+    /// Look up a queue pair by number.
+    pub fn qp(&self, qpn: QpNum) -> Option<Arc<Qp>> {
+        self.qps.read().get(&qpn).cloned()
+    }
+
+    /// Destroy a queue pair: it is removed from the node, its connection
+    /// state is evicted from the NIC cache, and any work still queued in
+    /// the engine for it is silently dropped (verbs `ibv_destroy_qp`
+    /// semantics after moving through the error state).
+    pub fn destroy_qp(&self, qpn: QpNum) -> bool {
+        let removed = self.qps.write().remove(&qpn);
+        if let Some(qp) = &removed {
+            qp.set_error();
+            self.cache
+                .lock()
+                .invalidate(crate::cache::qp_state_key(self.id.0, qpn.0));
+        }
+        removed.is_some()
+    }
+
+    /// Number of queue pairs on this node.
+    pub fn qp_count(&self) -> usize {
+        self.qps.read().len()
+    }
+}
+
+/// The top-level fabric handle. Dropping it stops all NIC engines.
+#[derive(Debug)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+    engines: Mutex<Vec<(Sender<NicCmd>, JoinHandle<()>)>>,
+}
+
+impl Fabric {
+    /// Create an empty fabric.
+    pub fn new(config: FabricConfig) -> Fabric {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                nodes: RwLock::new(HashMap::new()),
+                config,
+                next_node: AtomicU32::new(0),
+            }),
+            engines: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Create a fabric with default configuration.
+    pub fn with_defaults() -> Fabric {
+        Fabric::new(FabricConfig::default())
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.inner.config
+    }
+
+    /// Attach a new node and start its NIC engine thread.
+    pub fn add_node(&self, name: &str) -> Arc<Node> {
+        let id = NodeId(self.inner.next_node.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        let node = Arc::new(Node {
+            id,
+            name: name.to_string(),
+            mrs: MrTable::new(),
+            qps: RwLock::new(HashMap::new()),
+            next_qpn: AtomicU32::new(1),
+            cache: Mutex::new(ConnCache::new(self.inner.config.nic_cache_entries)),
+            stats: NicStats::default(),
+            engine_tx: tx.clone(),
+        });
+        self.inner.nodes.write().insert(id, Arc::clone(&node));
+        let inner = Arc::clone(&self.inner);
+        let node2 = Arc::clone(&node);
+        let handle = std::thread::Builder::new()
+            .name(format!("nic-{}", name))
+            .spawn(move || engine_loop(inner, node2, rx))
+            .expect("spawn NIC engine thread");
+        self.engines.lock().push((tx, handle));
+        node
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> Result<Arc<Node>> {
+        self.inner.node(id)
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.read().len()
+    }
+
+    /// Connect two queue pairs (RC or UC). Both transition to RTS.
+    pub fn connect(&self, a: &Qp, b: &Qp) -> Result<()> {
+        connect_qps(a, b)
+    }
+
+    /// Stop all NIC engines and wait for them to exit. Called by `Drop`;
+    /// explicit invocation is idempotent.
+    pub fn shutdown(&self) {
+        let mut engines = self.engines.lock();
+        for (tx, _) in engines.iter() {
+            let _ = tx.send(NicCmd::Stop);
+        }
+        for (_, handle) in engines.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Connect two queue pairs (RC or UC) without needing the [`Fabric`]
+/// handle. Both transition to RTS.
+pub fn connect_qps(a: &Qp, b: &Qp) -> Result<()> {
+    if a.transport() != b.transport() {
+        return Err(FabricError::UnsupportedVerb {
+            transport: a.transport(),
+            verb: "connect across transports",
+        });
+    }
+    a.set_connected((b.node(), b.qpn()))?;
+    b.set_connected((a.node(), a.qpn()))?;
+    Ok(())
+}

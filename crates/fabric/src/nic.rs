@@ -1,0 +1,314 @@
+//! The NIC engine: one background thread per node that executes posted
+//! work requests against the in-process fabric.
+//!
+//! The engine performs real memory movement (so two-sided and one-sided
+//! semantics are exercised end to end), records connection-cache accesses
+//! on both endpoints, and DMAs completions to the relevant CQs. Errors
+//! surface as error-status completions and transition the QP to the error
+//! state, mirroring verbs behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::qp_state_key;
+use crate::fabric::{FabricInner, Node};
+use crate::mr::Access;
+use crate::types::{FabricError, QpNum, QpState, Result};
+use crate::verbs::{Completion, CqOpcode, CqStatus, RecvWr, SendOp, SendWr, Sge};
+
+/// Size of the global routing header prefixed to UD receive payloads.
+pub const GRH_BYTES: usize = 40;
+
+/// Commands accepted by a node's NIC engine.
+#[derive(Debug)]
+pub enum NicCmd {
+    /// Execute a send-side work request posted on `src_qpn`.
+    Post {
+        /// The posting queue pair.
+        src_qpn: QpNum,
+        /// The work request.
+        wr: SendWr,
+    },
+    /// Stop the engine thread.
+    Stop,
+}
+
+/// Per-node NIC statistics (atomically updated by the engine).
+#[derive(Debug, Default)]
+pub struct NicStats {
+    /// Total verbs executed.
+    pub verbs: AtomicU64,
+    /// Total payload bytes moved.
+    pub bytes: AtomicU64,
+    /// Two-sided sends delivered.
+    pub sends: AtomicU64,
+    /// One-sided writes executed.
+    pub writes: AtomicU64,
+    /// One-sided reads executed.
+    pub reads: AtomicU64,
+    /// Remote atomics executed.
+    pub atomics: AtomicU64,
+    /// RC sends that failed with receiver-not-ready.
+    pub rnr_failures: AtomicU64,
+    /// UD datagrams dropped (loss injection or no receive buffer).
+    pub ud_drops: AtomicU64,
+}
+
+impl NicStats {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Engine main loop; runs on a dedicated thread owned by the fabric.
+pub(crate) fn engine_loop(fabric: Arc<FabricInner>, node: Arc<Node>, rx: Receiver<NicCmd>) {
+    let mut rng = SmallRng::seed_from_u64(fabric.config.seed ^ (node.id().0 as u64) << 17);
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            NicCmd::Post { src_qpn, wr } => process(&fabric, &node, src_qpn, wr, &mut rng),
+            NicCmd::Stop => break,
+        }
+    }
+}
+
+fn process(fabric: &FabricInner, node: &Arc<Node>, src_qpn: QpNum, wr: SendWr, rng: &mut SmallRng) {
+    let Some(qp) = node.qp(src_qpn) else {
+        return; // QP destroyed after posting; nothing to complete into.
+    };
+    if qp.state() == QpState::Error {
+        complete_send(node, src_qpn, &wr, CqStatus::WorkRequestFlushed, 0);
+        return;
+    }
+
+    // Touch the source-side connection state in the NIC cache.
+    node.cache()
+        .lock()
+        .access(qp_state_key(node.id().0, src_qpn.0));
+
+    let result = execute(fabric, node, &qp, &wr, rng);
+    match result {
+        Ok(bytes) => {
+            node.stats().verbs.fetch_add(1, Ordering::Relaxed);
+            node.stats()
+                .bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            if wr.signaled {
+                complete_send(node, src_qpn, &wr, CqStatus::Success, bytes);
+            }
+        }
+        Err(e) => {
+            let status = match e {
+                FabricError::BadLkey(_) => CqStatus::LocalProtectionError,
+                FabricError::NoReceiveBuffer => {
+                    node.stats().bump(&node.stats().rnr_failures);
+                    CqStatus::RnrRetryExceeded
+                }
+                FabricError::AccessViolation { .. }
+                | FabricError::BadRkey(_)
+                | FabricError::Misaligned(_)
+                | FabricError::ReceiveBufferTooSmall { .. } => CqStatus::RemoteAccessError,
+                _ => CqStatus::RemoteAccessError,
+            };
+            qp.set_error();
+            complete_send(node, src_qpn, &wr, status, 0);
+        }
+    }
+}
+
+fn complete_send(node: &Node, qpn: QpNum, wr: &SendWr, status: CqStatus, bytes: usize) {
+    let opcode = match wr.op {
+        SendOp::Send { .. } => CqOpcode::Send,
+        SendOp::Write { .. } | SendOp::WriteImm { .. } => CqOpcode::Write,
+        SendOp::Read { .. } => CqOpcode::Read,
+        SendOp::FetchAdd { .. } | SendOp::CmpSwap { .. } => CqOpcode::Atomic,
+    };
+    if let Some(qp) = node.qp(qpn) {
+        qp.send_cq().push(Completion {
+            wr_id: wr.wr_id,
+            status,
+            opcode,
+            byte_len: bytes,
+            imm: None,
+            src: None,
+            qpn,
+        });
+    }
+}
+
+/// Execute the data movement for `wr`; returns bytes moved.
+fn execute(
+    fabric: &FabricInner,
+    node: &Arc<Node>,
+    qp: &crate::qp::Qp,
+    wr: &SendWr,
+    rng: &mut SmallRng,
+) -> Result<usize> {
+    let dst_addr = match qp.remote() {
+        Some(peer) => peer,
+        None => wr.dst.ok_or(FabricError::MissingDestination)?,
+    };
+    let (dst_node_id, dst_qpn) = dst_addr;
+    let dst_node = fabric.node(dst_node_id)?;
+    let dst_qp = dst_node
+        .qp(dst_qpn)
+        .ok_or(FabricError::QpNotFound(dst_node_id, dst_qpn))?;
+
+    // Touch the destination-side connection state in its NIC cache.
+    dst_node
+        .cache()
+        .lock()
+        .access(qp_state_key(dst_node_id.0, dst_qpn.0));
+
+    match wr.op {
+        SendOp::Send { local } => {
+            let payload = read_local(node, local)?;
+            let is_ud = !qp.transport().connected();
+            if is_ud && fabric.config.ud_drop_probability > 0.0 {
+                if rng.gen::<f64>() < fabric.config.ud_drop_probability {
+                    node.stats().bump(&node.stats().ud_drops);
+                    return Ok(payload.len()); // silently lost on the wire
+                }
+            }
+            let Some(recv) = dst_qp.pop_recv() else {
+                if is_ud {
+                    // UD: no buffer means the datagram is dropped, sender
+                    // still completes successfully.
+                    node.stats().bump(&node.stats().ud_drops);
+                    return Ok(payload.len());
+                }
+                return Err(FabricError::NoReceiveBuffer);
+            };
+            let grh = if is_ud { GRH_BYTES } else { 0 };
+            let need = payload.len() + grh;
+            if recv.local.len < need {
+                deliver_recv_error(&dst_node, &dst_qp, &recv);
+                if is_ud {
+                    node.stats().bump(&node.stats().ud_drops);
+                    return Ok(payload.len());
+                }
+                return Err(FabricError::ReceiveBufferTooSmall {
+                    have: recv.local.len,
+                    need,
+                });
+            }
+            let dst_mr = dst_node.mrs().lookup_lkey(recv.local.lkey)?;
+            let off = dst_mr.translate(recv.local.addr, need)?;
+            if grh > 0 {
+                // Zero a synthetic GRH; real NICs deposit routing headers.
+                dst_mr.write(off, &[0u8; GRH_BYTES])?;
+            }
+            dst_mr.write(off + grh, &payload)?;
+            dst_qp.recv_cq().push(Completion {
+                wr_id: recv.wr_id,
+                status: CqStatus::Success,
+                opcode: CqOpcode::Recv,
+                byte_len: need,
+                imm: None,
+                src: if is_ud {
+                    Some((node.id(), qp.qpn()))
+                } else {
+                    None
+                },
+                qpn: dst_qpn,
+            });
+            node.stats().bump(&node.stats().sends);
+            Ok(payload.len())
+        }
+        SendOp::Write { local, remote } => {
+            let payload = read_local(node, local)?;
+            let dst_mr = dst_node
+                .mrs()
+                .lookup_rkey(remote.rkey, Access::REMOTE_WRITE)?;
+            let off = dst_mr.translate(remote.addr, payload.len())?;
+            dst_mr.write(off, &payload)?;
+            node.stats().bump(&node.stats().writes);
+            Ok(payload.len())
+        }
+        SendOp::WriteImm { local, remote, imm } => {
+            let payload = read_local(node, local)?;
+            let dst_mr = dst_node
+                .mrs()
+                .lookup_rkey(remote.rkey, Access::REMOTE_WRITE)?;
+            let off = dst_mr.translate(remote.addr, payload.len())?;
+            dst_mr.write(off, &payload)?;
+            // Consume one posted receive to deliver the immediate.
+            let recv = dst_qp.pop_recv().ok_or(FabricError::NoReceiveBuffer)?;
+            dst_qp.recv_cq().push(Completion {
+                wr_id: recv.wr_id,
+                status: CqStatus::Success,
+                opcode: CqOpcode::RecvImm,
+                byte_len: payload.len(),
+                imm: Some(imm),
+                src: None,
+                qpn: dst_qpn,
+            });
+            node.stats().bump(&node.stats().writes);
+            Ok(payload.len())
+        }
+        SendOp::Read { local, remote } => {
+            let dst_mr = dst_node
+                .mrs()
+                .lookup_rkey(remote.rkey, Access::REMOTE_READ)?;
+            let off = dst_mr.translate(remote.addr, local.len)?;
+            let data = dst_mr.read_vec(off, local.len)?;
+            write_local(node, local, &data)?;
+            node.stats().bump(&node.stats().reads);
+            Ok(local.len)
+        }
+        SendOp::FetchAdd { local, remote, add } => {
+            let dst_mr = dst_node
+                .mrs()
+                .lookup_rkey(remote.rkey, Access::REMOTE_ATOMIC)?;
+            let off = dst_mr.translate(remote.addr, 8)?;
+            let old = dst_mr.fetch_add_u64(off, add)?;
+            write_local(node, local, &old.to_le_bytes())?;
+            node.stats().bump(&node.stats().atomics);
+            Ok(8)
+        }
+        SendOp::CmpSwap {
+            local,
+            remote,
+            expect,
+            swap,
+        } => {
+            let dst_mr = dst_node
+                .mrs()
+                .lookup_rkey(remote.rkey, Access::REMOTE_ATOMIC)?;
+            let off = dst_mr.translate(remote.addr, 8)?;
+            let old = dst_mr.cmp_swap_u64(off, expect, swap)?;
+            write_local(node, local, &old.to_le_bytes())?;
+            node.stats().bump(&node.stats().atomics);
+            Ok(8)
+        }
+    }
+}
+
+fn deliver_recv_error(dst_node: &Node, dst_qp: &crate::qp::Qp, recv: &RecvWr) {
+    let _ = dst_node;
+    dst_qp.recv_cq().push(Completion {
+        wr_id: recv.wr_id,
+        status: CqStatus::LocalProtectionError,
+        opcode: CqOpcode::Recv,
+        byte_len: 0,
+        imm: None,
+        src: None,
+        qpn: dst_qp.qpn(),
+    });
+}
+
+fn read_local(node: &Node, sge: Sge) -> Result<Vec<u8>> {
+    let mr = node.mrs().lookup_lkey(sge.lkey)?;
+    let off = mr.translate(sge.addr, sge.len)?;
+    mr.read_vec(off, sge.len)
+}
+
+fn write_local(node: &Node, sge: Sge, data: &[u8]) -> Result<()> {
+    let mr = node.mrs().lookup_lkey(sge.lkey)?;
+    let len = data.len().min(sge.len);
+    let off = mr.translate(sge.addr, len)?;
+    mr.write(off, &data[..len])
+}

@@ -1,0 +1,234 @@
+//! Queue pairs.
+//!
+//! A [`Qp`] validates posted work against its transport's capabilities
+//! (paper Table 1) and its connection state, then hands send-side work to
+//! the node's NIC engine. Receive-side buffers are queued locally and
+//! consumed by inbound two-sided traffic.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::cq::CompletionQueue;
+use crate::nic::NicCmd;
+use crate::types::{FabricError, NodeId, QpNum, QpState, Result, Transport};
+use crate::verbs::{RecvWr, SendWr};
+
+/// A queue pair: a send queue / receive queue pair bound to two CQs.
+#[derive(Debug)]
+pub struct Qp {
+    node: NodeId,
+    qpn: QpNum,
+    transport: Transport,
+    state: Mutex<QpState>,
+    remote: Mutex<Option<(NodeId, QpNum)>>,
+    send_cq: Arc<CompletionQueue>,
+    recv_cq: Arc<CompletionQueue>,
+    recv_queue: Mutex<VecDeque<RecvWr>>,
+    engine: Sender<NicCmd>,
+}
+
+impl Qp {
+    pub(crate) fn new(
+        node: NodeId,
+        qpn: QpNum,
+        transport: Transport,
+        send_cq: Arc<CompletionQueue>,
+        recv_cq: Arc<CompletionQueue>,
+        engine: Sender<NicCmd>,
+    ) -> Arc<Qp> {
+        Arc::new(Qp {
+            node,
+            qpn,
+            transport,
+            state: Mutex::new(QpState::Init),
+            remote: Mutex::new(None),
+            send_cq,
+            recv_cq,
+            recv_queue: Mutex::new(VecDeque::new()),
+            engine,
+        })
+    }
+
+    /// Owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queue pair number.
+    pub fn qpn(&self) -> QpNum {
+        self.qpn
+    }
+
+    /// Transport service type.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QpState {
+        *self.state.lock()
+    }
+
+    /// The connected peer, if any.
+    pub fn remote(&self) -> Option<(NodeId, QpNum)> {
+        *self.remote.lock()
+    }
+
+    /// Send-side completion queue.
+    pub fn send_cq(&self) -> &Arc<CompletionQueue> {
+        &self.send_cq
+    }
+
+    /// Receive-side completion queue.
+    pub fn recv_cq(&self) -> &Arc<CompletionQueue> {
+        &self.recv_cq
+    }
+
+    /// Post a send-side work request.
+    ///
+    /// Validates state, verb support, MTU, and addressing before handing
+    /// the request to the NIC engine. Local/remote memory validation
+    /// happens asynchronously in the engine and is reported via the CQ.
+    pub fn post_send(&self, wr: SendWr) -> Result<()> {
+        let state = *self.state.lock();
+        if state != QpState::Rts {
+            return Err(FabricError::InvalidState(state));
+        }
+        if !wr.op.supported_on(self.transport) {
+            return Err(FabricError::UnsupportedVerb {
+                transport: self.transport,
+                verb: wr.op.name(),
+            });
+        }
+        let len = wr.op.byte_len();
+        if len > self.transport.max_msg_size() {
+            return Err(FabricError::PayloadTooLarge {
+                len,
+                max: self.transport.max_msg_size(),
+            });
+        }
+        if self.transport.connected() {
+            if wr.dst.is_some() {
+                return Err(FabricError::MissingDestination); // dst must come from the connection
+            }
+            if self.remote.lock().is_none() {
+                return Err(FabricError::NotConnected);
+            }
+        } else if wr.dst.is_none() {
+            return Err(FabricError::MissingDestination);
+        }
+        self.engine
+            .send(NicCmd::Post {
+                src_qpn: self.qpn,
+                wr,
+            })
+            .map_err(|_| FabricError::Shutdown)
+    }
+
+    /// Post a chain of linked send work requests with a single doorbell
+    /// (the verbs `ibv_post_send` list form; Flock's leader uses this to
+    /// submit the batch's one-sided operations, paper §6).
+    ///
+    /// Validation is all-or-nothing: if any request in the chain fails
+    /// validation, nothing is posted.
+    pub fn post_send_many(&self, wrs: &[SendWr]) -> Result<()> {
+        let state = *self.state.lock();
+        if state != QpState::Rts {
+            return Err(FabricError::InvalidState(state));
+        }
+        for wr in wrs {
+            if !wr.op.supported_on(self.transport) {
+                return Err(FabricError::UnsupportedVerb {
+                    transport: self.transport,
+                    verb: wr.op.name(),
+                });
+            }
+            let len = wr.op.byte_len();
+            if len > self.transport.max_msg_size() {
+                return Err(FabricError::PayloadTooLarge {
+                    len,
+                    max: self.transport.max_msg_size(),
+                });
+            }
+            if self.transport.connected() {
+                if wr.dst.is_some() {
+                    return Err(FabricError::MissingDestination);
+                }
+                if self.remote.lock().is_none() {
+                    return Err(FabricError::NotConnected);
+                }
+            } else if wr.dst.is_none() {
+                return Err(FabricError::MissingDestination);
+            }
+        }
+        for wr in wrs {
+            self.engine
+                .send(NicCmd::Post {
+                    src_qpn: self.qpn,
+                    wr: *wr,
+                })
+                .map_err(|_| FabricError::Shutdown)?;
+        }
+        Ok(())
+    }
+
+    /// Post a receive buffer. Legal in any non-error state.
+    pub fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        let state = *self.state.lock();
+        if state == QpState::Error {
+            return Err(FabricError::InvalidState(state));
+        }
+        self.recv_queue.lock().push_back(wr);
+        Ok(())
+    }
+
+    /// Number of posted, unconsumed receive buffers.
+    pub fn posted_recvs(&self) -> usize {
+        self.recv_queue.lock().len()
+    }
+
+    pub(crate) fn pop_recv(&self) -> Option<RecvWr> {
+        self.recv_queue.lock().pop_front()
+    }
+
+    pub(crate) fn set_connected(&self, peer: (NodeId, QpNum)) -> Result<()> {
+        if !self.transport.connected() {
+            return Err(FabricError::UnsupportedVerb {
+                transport: self.transport,
+                verb: "connect",
+            });
+        }
+        let mut state = self.state.lock();
+        if *state != QpState::Init {
+            return Err(FabricError::InvalidState(*state));
+        }
+        *self.remote.lock() = Some(peer);
+        *state = QpState::Rts;
+        Ok(())
+    }
+
+    /// Transition an unconnected (UD) QP to ready-to-send.
+    pub fn ready(&self) -> Result<()> {
+        if self.transport.connected() {
+            return Err(FabricError::UnsupportedVerb {
+                transport: self.transport,
+                verb: "ready (use connect)",
+            });
+        }
+        let mut state = self.state.lock();
+        if *state != QpState::Init {
+            return Err(FabricError::InvalidState(*state));
+        }
+        *state = QpState::Rts;
+        Ok(())
+    }
+
+    /// Force the QP into the error state (flushing semantics are handled by
+    /// the engine as it encounters the state).
+    pub fn set_error(&self) {
+        *self.state.lock() = QpState::Error;
+    }
+}

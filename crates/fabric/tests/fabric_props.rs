@@ -1,0 +1,114 @@
+//! Property-based tests of the fabric's safety invariants: memory
+//! translation bounds, cache behavior against a reference model, and
+//! atomics linearization under arbitrary operation sequences.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use flock_fabric::cache::Eviction;
+use flock_fabric::{Access, ConnCache, MrTable};
+
+proptest! {
+    /// `translate` accepts exactly the in-bounds ranges.
+    #[test]
+    fn mr_translate_is_exact(
+        len in 1usize..10_000,
+        off in 0u64..20_000,
+        n in 0usize..20_000,
+    ) {
+        let t = MrTable::new();
+        let mr = t.register(len, Access::REMOTE_ALL);
+        let addr = mr.addr() + off;
+        let ok = mr.translate(addr, n).is_ok();
+        let expect = (off as usize) + n <= len;
+        prop_assert_eq!(ok, expect, "off={} n={} len={}", off, n, len);
+    }
+
+    /// Reads and writes round-trip anywhere in bounds; out-of-bounds
+    /// accesses error and leave the region unchanged.
+    #[test]
+    fn mr_rw_roundtrip(ops in vec((0u16..128, vec(any::<u8>(), 1..64)), 1..50)) {
+        let t = MrTable::new();
+        let mr = t.register(128, Access::REMOTE_ALL);
+        let mut model = vec![0u8; 128];
+        for (off, data) in ops {
+            let off = off as usize;
+            let r = mr.write(off, &data);
+            if off + data.len() <= 128 {
+                prop_assert!(r.is_ok());
+                model[off..off + data.len()].copy_from_slice(&data);
+            } else {
+                prop_assert!(r.is_err());
+            }
+            let mut all = vec![0u8; 128];
+            mr.read(0, &mut all).unwrap();
+            prop_assert_eq!(&all, &model);
+        }
+    }
+
+    /// The LRU cache agrees with a straightforward reference
+    /// implementation on hits, misses, and residency.
+    #[test]
+    fn lru_cache_matches_reference(
+        capacity in 1usize..32,
+        keys in vec(0u64..64, 1..300),
+    ) {
+        let mut cache = ConnCache::new(capacity);
+        // Reference: vec ordered MRU-first.
+        let mut model: Vec<u64> = Vec::new();
+        for key in keys {
+            let hit = cache.access(key);
+            let model_hit = model.contains(&key);
+            prop_assert_eq!(hit, model_hit);
+            model.retain(|&k| k != key);
+            model.insert(0, key);
+            model.truncate(capacity);
+            prop_assert_eq!(cache.len(), model.len());
+            for &k in &model {
+                prop_assert!(cache.contains(k));
+            }
+        }
+    }
+
+    /// Random eviction never exceeds capacity and keeps every resident
+    /// key accountable.
+    #[test]
+    fn random_cache_respects_capacity(
+        capacity in 1usize..32,
+        keys in vec(0u64..256, 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut cache = ConnCache::with_policy(capacity, Eviction::Random, seed);
+        let mut inserted = std::collections::HashSet::new();
+        for key in keys {
+            let hit = cache.access(key);
+            if hit {
+                prop_assert!(inserted.contains(&key));
+            }
+            inserted.insert(key);
+            prop_assert!(cache.len() <= capacity);
+            prop_assert!(cache.contains(key), "just-accessed key must be resident");
+        }
+    }
+
+    /// Remote atomics on a region linearize: a fetch-add ladder sums
+    /// correctly and CAS succeeds exactly when the expectation matches.
+    #[test]
+    fn atomics_linearize(ops in vec((any::<bool>(), 0u64..16), 1..100)) {
+        let t = MrTable::new();
+        let mr = t.register(64, Access::REMOTE_ALL);
+        let mut model = 0u64;
+        for (is_faa, arg) in ops {
+            if is_faa {
+                let old = mr.fetch_add_u64(0, arg).unwrap();
+                prop_assert_eq!(old, model);
+                model = model.wrapping_add(arg);
+            } else {
+                let old = mr.cmp_swap_u64(0, model, arg).unwrap();
+                prop_assert_eq!(old, model);
+                model = arg;
+            }
+            prop_assert_eq!(mr.read_u64(0).unwrap(), model);
+        }
+    }
+}

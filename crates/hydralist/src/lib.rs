@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # flock-hydralist
+//!
+//! A HydraList-style in-memory ordered index (Mathew & Min, VLDB 2020) —
+//! the index workload of the Flock paper's §8.6 (32 M keys, 8-byte keys
+//! and values, 90% get / 10% scan-64).
+//!
+//! HydraList splits the index into a *data layer* (a linked list of nodes,
+//! each holding a sorted run of key-value pairs) and a *search layer* (an
+//! ordered map from anchor keys to data nodes) that is updated
+//! *asynchronously*: structural changes (node splits) enqueue search-layer
+//! updates that a background pass applies later. Lookups tolerate a stale
+//! search layer by walking forward in the data layer.
+//!
+//! This reproduction keeps that architecture: per-node locks in the data
+//! layer, an `RwLock<BTreeMap>` search layer, an explicit pending-update
+//! queue, and forward-walk repair on stale hits.
+
+pub mod index;
+
+pub use index::{HydraConfig, HydraList};

@@ -1,0 +1,94 @@
+//! Version/lock words for optimistic concurrency control.
+
+/// Bit 63 of a version word: the entry is locked by a writer.
+pub const LOCK_BIT: u64 = 1 << 63;
+
+/// A versioned, lockable value.
+#[derive(Debug, Clone)]
+pub struct VersionEntry {
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// Version/lock word: bit 63 = locked, low bits = version counter.
+    pub word: u64,
+}
+
+impl VersionEntry {
+    /// A fresh unlocked entry at version 1.
+    pub fn new(value: Vec<u8>) -> VersionEntry {
+        VersionEntry { value, word: 1 }
+    }
+
+    /// Whether the lock bit is set.
+    pub fn is_locked(&self) -> bool {
+        self.word & LOCK_BIT != 0
+    }
+
+    /// The version (lock bit masked off).
+    pub fn version(&self) -> u64 {
+        self.word & !LOCK_BIT
+    }
+
+    /// Try to acquire the lock; returns `false` if already locked.
+    pub fn try_lock(&mut self) -> bool {
+        if self.is_locked() {
+            return false;
+        }
+        self.word |= LOCK_BIT;
+        true
+    }
+
+    /// Release the lock without changing the version (abort path).
+    pub fn unlock(&mut self) {
+        self.word &= !LOCK_BIT;
+    }
+
+    /// Install a new value, bump the version, and release the lock
+    /// (commit path).
+    pub fn update_and_unlock(&mut self, value: Vec<u8>) {
+        self.value = value;
+        self.word = (self.version() + 1) & !LOCK_BIT;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_is_unlocked_v1() {
+        let e = VersionEntry::new(vec![1]);
+        assert!(!e.is_locked());
+        assert_eq!(e.version(), 1);
+    }
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let mut e = VersionEntry::new(vec![]);
+        assert!(e.try_lock());
+        assert!(e.is_locked());
+        assert!(!e.try_lock());
+        e.unlock();
+        assert!(!e.is_locked());
+        assert_eq!(e.version(), 1, "abort must not bump the version");
+    }
+
+    #[test]
+    fn commit_bumps_version_and_unlocks() {
+        let mut e = VersionEntry::new(vec![1]);
+        assert!(e.try_lock());
+        e.update_and_unlock(vec![2]);
+        assert!(!e.is_locked());
+        assert_eq!(e.version(), 2);
+        assert_eq!(e.value, vec![2]);
+    }
+
+    #[test]
+    fn version_survives_many_commits() {
+        let mut e = VersionEntry::new(vec![]);
+        for i in 0..100 {
+            assert!(e.try_lock());
+            e.update_and_unlock(vec![i as u8]);
+        }
+        assert_eq!(e.version(), 101);
+    }
+}

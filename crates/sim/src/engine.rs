@@ -1,0 +1,243 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns a binary heap of scheduled events. Each event is a boxed
+//! `FnOnce(&mut W, &mut Sim<W>)` closure over a caller-defined *world* `W`
+//! holding all model state. Events fire in `(time, sequence)` order, so
+//! same-instant events run in scheduling order and the simulation is fully
+//! deterministic.
+//!
+//! ```
+//! use flock_sim::{Ns, Sim};
+//!
+//! struct World { ticks: u32 }
+//! let mut sim = Sim::new();
+//! let mut world = World { ticks: 0 };
+//! sim.after(Ns(10), |w: &mut World, sim| {
+//!     w.ticks += 1;
+//!     sim.after(Ns(10), |w: &mut World, _| w.ticks += 1);
+//! });
+//! sim.run(&mut world);
+//! assert_eq!(world.ticks, 2);
+//! assert_eq!(sim.now(), Ns(20));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Ns;
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: Ns,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the world type `W`; see the module docs for an example.
+pub struct Sim<W> {
+    now: Ns,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Create an empty simulator at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: Ns::ZERO,
+            seq: 0,
+            executed: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (the event runs at the
+    /// current instant, after already-scheduled same-instant events).
+    pub fn at(&mut self, at: Ns, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn after(&mut self, delay: Ns, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.at(self.now + delay, f);
+    }
+
+    /// Run a single event if one is pending; returns whether one ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event scheduled in the past");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until the queue drains or virtual time would exceed `t_end`.
+    ///
+    /// Events scheduled strictly after `t_end` remain queued; the clock is
+    /// left at the last executed event (or advanced to `t_end` if any events
+    /// remain beyond it).
+    pub fn run_until(&mut self, world: &mut W, t_end: Ns) {
+        while let Some(head) = self.heap.peek() {
+            if head.at > t_end {
+                self.now = t_end;
+                return;
+            }
+            self.step(world);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        order: Vec<u32>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.at(Ns(30), |w: &mut W, _| w.order.push(3));
+        sim.at(Ns(10), |w: &mut W, _| w.order.push(1));
+        sim.at(Ns(20), |w: &mut W, _| w.order.push(2));
+        sim.run(&mut w);
+        assert_eq!(w.order, vec![1, 2, 3]);
+        assert_eq!(sim.now(), Ns(30));
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn same_instant_events_fire_fifo() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        for i in 0..16 {
+            sim.at(Ns(5), move |w: &mut W, _| w.order.push(i));
+        }
+        sim.run(&mut w);
+        assert_eq!(w.order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        fn tick(w: &mut W, sim: &mut Sim<W>) {
+            let n = w.order.len() as u32;
+            w.order.push(n);
+            if n < 4 {
+                sim.after(Ns(7), tick);
+            }
+        }
+        sim.after(Ns(7), tick);
+        sim.run(&mut w);
+        assert_eq!(w.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.now(), Ns(35));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.at(Ns(100), |w: &mut W, sim| {
+            w.order.push(1);
+            sim.at(Ns(1), |w: &mut W, _| w.order.push(2));
+        });
+        sim.run(&mut w);
+        assert_eq!(w.order, vec![1, 2]);
+        assert_eq!(sim.now(), Ns(100));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.at(Ns(10), |w: &mut W, _| w.order.push(1));
+        sim.at(Ns(50), |w: &mut W, _| w.order.push(2));
+        sim.run_until(&mut w, Ns(20));
+        assert_eq!(w.order, vec![1]);
+        assert_eq!(sim.now(), Ns(20));
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(w.order, vec![1, 2]);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        assert!(!sim.step(&mut w));
+    }
+}

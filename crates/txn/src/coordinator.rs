@@ -1,0 +1,204 @@
+//! The FlockTX coordinator: drives a transaction through execution,
+//! one-sided validation, logging, and commit (paper §8.5.1, Figure 13).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flock_core::client::FlThread;
+use flock_core::ConnectionHandle;
+use flock_core::{FlockError, Result};
+
+use crate::protocol::{key_partition, replicas_of, KeyRead, TxnResp, TxnRpc};
+
+/// Result of a transaction attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed; carries the values read during execution (read set and
+    /// pre-images of the write set).
+    Committed(HashMap<u64, Option<Vec<u8>>>),
+    /// Aborted due to a lock conflict or failed validation; retry if
+    /// desired.
+    Aborted,
+}
+
+/// A per-application-thread transaction coordinator holding one
+/// [`FlThread`] per server connection.
+pub struct TxnClient {
+    threads: Vec<FlThread>,
+    txn_seq: std::cell::Cell<u64>,
+}
+
+impl TxnClient {
+    /// Register this thread with every server handle (ordered by server
+    /// index).
+    pub fn new(handles: &[Arc<ConnectionHandle>]) -> TxnClient {
+        TxnClient {
+            threads: handles.iter().map(|h| h.register_thread()).collect(),
+            txn_seq: std::cell::Cell::new(1),
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Run one transaction: read `reads`, then atomically replace the
+    /// values of `writes` with the output of `compute` (which receives the
+    /// execution-time values of both sets).
+    ///
+    /// Returns [`TxnOutcome::Aborted`] on lock conflicts or validation
+    /// failure; the caller retries.
+    pub fn run<F>(&self, reads: &[u64], writes: &[u64], compute: F) -> Result<TxnOutcome>
+    where
+        F: FnOnce(&HashMap<u64, Option<Vec<u8>>>) -> HashMap<u64, Vec<u8>>,
+    {
+        let n = self.threads.len();
+        let txn_id = self.txn_seq.get();
+        self.txn_seq.set(txn_id + 1);
+
+        // ---- Phase 1: Execution -------------------------------------
+        // Group keys by primary and send all Execute RPCs before waiting
+        // (the coordinator pipelines across servers).
+        let mut groups: HashMap<usize, (Vec<u64>, Vec<u64>)> = HashMap::new();
+        for &k in reads {
+            groups.entry(key_partition(k, n)).or_default().0.push(k);
+        }
+        for &k in writes {
+            groups.entry(key_partition(k, n)).or_default().1.push(k);
+        }
+        let mut pending: Vec<(usize, u64)> = Vec::with_capacity(groups.len());
+        for (&server, (r, w)) in &groups {
+            let rpc = TxnRpc::Execute {
+                txn_id,
+                reads: r.clone(),
+                writes: w.clone(),
+            };
+            let seq = self.threads[server].send_rpc(rpc.rpc_id(), &rpc.encode())?;
+            pending.push((server, seq));
+        }
+        let mut all_reads: Vec<(usize, KeyRead)> = Vec::new();
+        let mut values: HashMap<u64, Option<Vec<u8>>> = HashMap::new();
+        let mut locked_servers: Vec<usize> = Vec::new();
+        let mut exec_ok = true;
+        for (server, seq) in pending {
+            let resp = self.threads[server].recv_res(seq)?;
+            let resp = TxnResp::decode(&resp).ok_or(FlockError::CorruptMessage("txn response"))?;
+            let TxnResp::Execute { ok, reads, writes } = resp else {
+                return Err(FlockError::CorruptMessage("expected execute response"));
+            };
+            if !ok {
+                exec_ok = false;
+                continue;
+            }
+            if !groups[&server].1.is_empty() {
+                locked_servers.push(server);
+            }
+            for kr in &reads {
+                values.insert(kr.key, kr.value.clone());
+            }
+            for kr in &writes {
+                values.insert(kr.key, kr.value.clone());
+            }
+            all_reads.extend(reads.into_iter().map(|kr| (server, kr)));
+        }
+        if !exec_ok {
+            self.abort(txn_id, &groups, &locked_servers)?;
+            return Ok(TxnOutcome::Aborted);
+        }
+
+        // ---- Phase 2: Validation (one-sided reads) -------------------
+        // Verify every read-set version word via fl_read of the server's
+        // advertised version table (region 0).
+        for (server, kr) in &all_reads {
+            if kr.slot == u64::MAX {
+                continue; // key absent at execution: nothing to validate
+            }
+            let raw = self.threads[*server].read(0, kr.slot, 8)?;
+            let word = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+            let locked = word & flock_kvstore::LOCK_BIT != 0;
+            if locked || word != kr.word {
+                self.abort(txn_id, &groups, &locked_servers)?;
+                return Ok(TxnOutcome::Aborted);
+            }
+        }
+
+        // ---- Compute -------------------------------------------------
+        let new_values = compute(&values);
+        debug_assert!(writes.iter().all(|k| new_values.contains_key(k)));
+
+        // ---- Phase 3: Logging to replicas ----------------------------
+        let mut log_pending: Vec<(usize, u64)> = Vec::new();
+        for (&server, (_, w)) in &groups {
+            if w.is_empty() {
+                continue;
+            }
+            let writes_kv: Vec<(u64, Vec<u8>)> = w
+                .iter()
+                .map(|&k| (k, new_values.get(&k).cloned().unwrap_or_default()))
+                .collect();
+            for replica in replicas_of(server, n) {
+                let rpc = TxnRpc::Log {
+                    txn_id,
+                    writes: writes_kv.clone(),
+                };
+                let seq = self.threads[replica].send_rpc(rpc.rpc_id(), &rpc.encode())?;
+                log_pending.push((replica, seq));
+            }
+        }
+        for (replica, seq) in log_pending {
+            let resp = self.threads[replica].recv_res(seq)?;
+            if TxnResp::decode(&resp) != Some(TxnResp::Ack) {
+                return Err(FlockError::CorruptMessage("log ack"));
+            }
+        }
+
+        // ---- Phase 4: Commit on primaries ----------------------------
+        let mut commit_pending: Vec<(usize, u64)> = Vec::new();
+        for (&server, (_, w)) in &groups {
+            if w.is_empty() {
+                continue;
+            }
+            let writes_kv: Vec<(u64, Vec<u8>)> = w
+                .iter()
+                .map(|&k| (k, new_values.get(&k).cloned().unwrap_or_default()))
+                .collect();
+            let rpc = TxnRpc::Commit {
+                txn_id,
+                writes: writes_kv,
+            };
+            let seq = self.threads[server].send_rpc(rpc.rpc_id(), &rpc.encode())?;
+            commit_pending.push((server, seq));
+        }
+        for (server, seq) in commit_pending {
+            let resp = self.threads[server].recv_res(seq)?;
+            if TxnResp::decode(&resp) != Some(TxnResp::Ack) {
+                return Err(FlockError::CorruptMessage("commit ack"));
+            }
+        }
+        Ok(TxnOutcome::Committed(values))
+    }
+
+    /// Release locks on every server whose execute succeeded.
+    fn abort(
+        &self,
+        txn_id: u64,
+        groups: &HashMap<usize, (Vec<u64>, Vec<u64>)>,
+        locked_servers: &[usize],
+    ) -> Result<()> {
+        let mut pending = Vec::new();
+        for &server in locked_servers {
+            let w = &groups[&server].1;
+            let rpc = TxnRpc::Abort {
+                txn_id,
+                writes: w.clone(),
+            };
+            let seq = self.threads[server].send_rpc(rpc.rpc_id(), &rpc.encode())?;
+            pending.push((server, seq));
+        }
+        for (server, seq) in pending {
+            let _ = self.threads[server].recv_res(seq)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # flock-txn
+//!
+//! **FlockTX** — the distributed transaction system of the Flock paper's
+//! §8.5: optimistic concurrency control (OCC), two-phase commit (2PC), and
+//! 3-way primary-backup replication over a partitioned key-value store
+//! ([`flock_kvstore`]), communicating through Flock RPCs and one-sided
+//! reads.
+//!
+//! A transaction (paper Figure 13) runs in four phases:
+//!
+//! 1. **Execution** — the coordinator RPCs each involved primary, which
+//!    *locks* the write-set keys (abort on conflict) and returns values,
+//!    version words, and the memory offsets of the read-set version words.
+//! 2. **Validation** — the coordinator issues *one-sided RDMA reads*
+//!    (`fl_read`) of the read-set version words; any change or lock causes
+//!    an abort.
+//! 3. **Logging** — write-set updates are RPC'd to each partition's two
+//!    replicas, which ACK after applying to their backup copies.
+//! 4. **Commit** — primaries install the new values, bump versions, and
+//!    unlock.
+//!
+//! [`workloads`] provides the paper's TATP (read-intensive) and Smallbank
+//! (write-intensive) benchmark generators.
+
+pub mod coordinator;
+pub mod pipelined;
+pub mod protocol;
+pub mod server;
+pub mod workloads;
+
+pub use coordinator::{TxnClient, TxnOutcome};
+pub use pipelined::{PipelineStats, PipelinedTxnClient, TxnLogic};
+pub use protocol::{key_partition, TxnResp, TxnRpc};
+pub use server::TxnServer;
+pub use workloads::{Smallbank, Tatp, TxnSpec};

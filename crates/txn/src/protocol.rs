@@ -1,0 +1,396 @@
+//! Wire protocol of FlockTX: request/response types and a compact manual
+//! binary codec (the messages travel as Flock RPC payloads).
+
+/// RPC id of the execution phase.
+pub const RPC_EXECUTE: u32 = 10;
+/// RPC id of the logging phase (to replicas).
+pub const RPC_LOG: u32 = 11;
+/// RPC id of the commit phase.
+pub const RPC_COMMIT: u32 = 12;
+/// RPC id of the abort path.
+pub const RPC_ABORT: u32 = 13;
+
+/// Which server is primary for `key` among `n` servers.
+pub fn key_partition(key: u64, n: usize) -> usize {
+    let mut x = key;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) % n as u64) as usize
+}
+
+/// The two replicas of partition `p` among `n` servers (3-way
+/// replication: primary plus two backups).
+pub fn replicas_of(p: usize, n: usize) -> [usize; 2] {
+    [(p + 1) % n, (p + 2) % n]
+}
+
+/// A FlockTX request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnRpc {
+    /// Execution phase: read `reads`, lock-and-read `writes`.
+    Execute {
+        /// Transaction id (for diagnostics).
+        txn_id: u64,
+        /// Read-set keys owned by this server.
+        reads: Vec<u64>,
+        /// Write-set keys owned by this server (locked on success).
+        writes: Vec<u64>,
+    },
+    /// Logging phase: apply updates to this replica's backup copy.
+    Log {
+        /// Transaction id.
+        txn_id: u64,
+        /// New values.
+        writes: Vec<(u64, Vec<u8>)>,
+    },
+    /// Commit phase: install values, bump versions, unlock.
+    Commit {
+        /// Transaction id.
+        txn_id: u64,
+        /// New values.
+        writes: Vec<(u64, Vec<u8>)>,
+    },
+    /// Abort: unlock the write set without changes.
+    Abort {
+        /// Transaction id.
+        txn_id: u64,
+        /// Keys to unlock.
+        writes: Vec<u64>,
+    },
+}
+
+/// Per-key result of the execution phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRead {
+    /// The key.
+    pub key: u64,
+    /// Value at execution time (`None` if absent).
+    pub value: Option<Vec<u8>>,
+    /// Version/lock word at execution time.
+    pub word: u64,
+    /// Byte offset of the key's version word in the server's advertised
+    /// memory region (for one-sided validation); `u64::MAX` if absent.
+    pub slot: u64,
+}
+
+/// A FlockTX response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnResp {
+    /// Execution result.
+    Execute {
+        /// Whether every write-set key was locked.
+        ok: bool,
+        /// Read-set snapshots (with validation slots).
+        reads: Vec<KeyRead>,
+        /// Write-set snapshots (locked; no validation needed).
+        writes: Vec<KeyRead>,
+    },
+    /// Acknowledgement for log/commit/abort.
+    Ack,
+}
+
+// ---- Codec -------------------------------------------------------------
+//
+// Layout: 1-byte tag, then fields in order; integers little-endian;
+// vectors as u32 count + elements; byte strings as u32 len + bytes;
+// Option<Vec<u8>> as 1-byte presence + bytes.
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+fn put_keys(buf: &mut Vec<u8>, keys: &[u64]) {
+    put_u32(buf, keys.len() as u32);
+    for &k in keys {
+        put_u64(buf, k);
+    }
+}
+fn put_kvs(buf: &mut Vec<u8>, kvs: &[(u64, Vec<u8>)]) {
+    put_u32(buf, kvs.len() as u32);
+    for (k, v) in kvs {
+        put_u64(buf, *k);
+        put_bytes(buf, v);
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.b.get(self.off)?;
+        self.off += 1;
+        Some(v)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let v = u32::from_le_bytes(self.b.get(self.off..self.off + 4)?.try_into().ok()?);
+        self.off += 4;
+        Some(v)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.b.get(self.off..self.off + 8)?.try_into().ok()?);
+        self.off += 8;
+        Some(v)
+    }
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        let v = self.b.get(self.off..self.off + n)?.to_vec();
+        self.off += n;
+        Some(v)
+    }
+    fn keys(&mut self) -> Option<Vec<u64>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn kvs(&mut self) -> Option<Vec<(u64, Vec<u8>)>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| Some((self.u64()?, self.bytes()?))).collect()
+    }
+}
+
+impl TxnRpc {
+    /// The RPC id this request travels under.
+    pub fn rpc_id(&self) -> u32 {
+        match self {
+            TxnRpc::Execute { .. } => RPC_EXECUTE,
+            TxnRpc::Log { .. } => RPC_LOG,
+            TxnRpc::Commit { .. } => RPC_COMMIT,
+            TxnRpc::Abort { .. } => RPC_ABORT,
+        }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            TxnRpc::Execute {
+                txn_id,
+                reads,
+                writes,
+            } => {
+                buf.push(0);
+                put_u64(&mut buf, *txn_id);
+                put_keys(&mut buf, reads);
+                put_keys(&mut buf, writes);
+            }
+            TxnRpc::Log { txn_id, writes } => {
+                buf.push(1);
+                put_u64(&mut buf, *txn_id);
+                put_kvs(&mut buf, writes);
+            }
+            TxnRpc::Commit { txn_id, writes } => {
+                buf.push(2);
+                put_u64(&mut buf, *txn_id);
+                put_kvs(&mut buf, writes);
+            }
+            TxnRpc::Abort { txn_id, writes } => {
+                buf.push(3);
+                put_u64(&mut buf, *txn_id);
+                put_keys(&mut buf, writes);
+            }
+        }
+        buf
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<TxnRpc> {
+        let mut r = Reader { b, off: 0 };
+        let rpc = match r.u8()? {
+            0 => TxnRpc::Execute {
+                txn_id: r.u64()?,
+                reads: r.keys()?,
+                writes: r.keys()?,
+            },
+            1 => TxnRpc::Log {
+                txn_id: r.u64()?,
+                writes: r.kvs()?,
+            },
+            2 => TxnRpc::Commit {
+                txn_id: r.u64()?,
+                writes: r.kvs()?,
+            },
+            3 => TxnRpc::Abort {
+                txn_id: r.u64()?,
+                writes: r.keys()?,
+            },
+            _ => return None,
+        };
+        (r.off == b.len()).then_some(rpc)
+    }
+}
+
+impl TxnResp {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            TxnResp::Execute { ok, reads, writes } => {
+                buf.push(0);
+                buf.push(*ok as u8);
+                for set in [reads, writes] {
+                    put_u32(&mut buf, set.len() as u32);
+                    for kr in set {
+                        put_u64(&mut buf, kr.key);
+                        match &kr.value {
+                            Some(v) => {
+                                buf.push(1);
+                                put_bytes(&mut buf, v);
+                            }
+                            None => buf.push(0),
+                        }
+                        put_u64(&mut buf, kr.word);
+                        put_u64(&mut buf, kr.slot);
+                    }
+                }
+            }
+            TxnResp::Ack => buf.push(1),
+        }
+        buf
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<TxnResp> {
+        let mut r = Reader { b, off: 0 };
+        let resp = match r.u8()? {
+            0 => {
+                let ok = r.u8()? != 0;
+                let mut sets = Vec::with_capacity(2);
+                for _ in 0..2 {
+                    let n = r.u32()? as usize;
+                    let mut set = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let key = r.u64()?;
+                        let value = match r.u8()? {
+                            1 => Some(r.bytes()?),
+                            _ => None,
+                        };
+                        set.push(KeyRead {
+                            key,
+                            value,
+                            word: r.u64()?,
+                            slot: r.u64()?,
+                        });
+                    }
+                    sets.push(set);
+                }
+                let writes = sets.pop()?;
+                let reads = sets.pop()?;
+                TxnResp::Execute { ok, reads, writes }
+            }
+            1 => TxnResp::Ack,
+            _ => return None,
+        };
+        (r.off == b.len()).then_some(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_is_total_and_balanced() {
+        let n = 3;
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[key_partition(key, n)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_from_primary() {
+        for n in [3, 5] {
+            for p in 0..n {
+                let [r1, r2] = replicas_of(p, n);
+                assert_ne!(r1, p);
+                assert_ne!(r2, p);
+                assert_ne!(r1, r2);
+            }
+        }
+    }
+
+    #[test]
+    fn rpc_roundtrip_all_variants() {
+        let cases = vec![
+            TxnRpc::Execute {
+                txn_id: 7,
+                reads: vec![1, 2, 3],
+                writes: vec![9],
+            },
+            TxnRpc::Log {
+                txn_id: 8,
+                writes: vec![(1, b"aa".to_vec()), (2, vec![])],
+            },
+            TxnRpc::Commit {
+                txn_id: 9,
+                writes: vec![(5, b"value".to_vec())],
+            },
+            TxnRpc::Abort {
+                txn_id: 10,
+                writes: vec![5, 6],
+            },
+        ];
+        for rpc in cases {
+            let enc = rpc.encode();
+            assert_eq!(TxnRpc::decode(&enc), Some(rpc));
+        }
+    }
+
+    #[test]
+    fn resp_roundtrip() {
+        let resp = TxnResp::Execute {
+            ok: true,
+            reads: vec![
+                KeyRead {
+                    key: 1,
+                    value: Some(b"v1".to_vec()),
+                    word: 42,
+                    slot: 16,
+                },
+                KeyRead {
+                    key: 2,
+                    value: None,
+                    word: 0,
+                    slot: u64::MAX,
+                },
+            ],
+            writes: vec![KeyRead {
+                key: 3,
+                value: Some(vec![9; 100]),
+                word: 7,
+                slot: 24,
+            }],
+        };
+        let enc = resp.encode();
+        assert_eq!(TxnResp::decode(&enc), Some(resp));
+        let ack = TxnResp::Ack;
+        assert_eq!(TxnResp::decode(&ack.encode()), Some(TxnResp::Ack));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert_eq!(TxnRpc::decode(&[]), None);
+        assert_eq!(TxnRpc::decode(&[99]), None);
+        assert_eq!(TxnRpc::decode(&[0, 1, 2]), None);
+        // Trailing garbage.
+        let mut enc = TxnRpc::Abort {
+            txn_id: 1,
+            writes: vec![],
+        }
+        .encode();
+        enc.push(0);
+        assert_eq!(TxnRpc::decode(&enc), None);
+        assert_eq!(TxnResp::decode(&[7]), None);
+    }
+}

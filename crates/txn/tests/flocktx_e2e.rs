@@ -1,0 +1,393 @@
+//! End-to-end FlockTX over the full threaded Flock stack: three servers
+//! with 3-way replication, OCC conflicts, one-sided validation, and the
+//! Smallbank money-conservation invariant.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flock_core::client::HandleConfig;
+use flock_core::server::{FlockServer, ServerConfig};
+use flock_core::{ConnectionHandle, FlockDomain};
+use flock_sim::SimRng;
+use flock_txn::protocol::key_partition;
+use flock_txn::{Smallbank, TxnClient, TxnOutcome, TxnServer};
+
+const N_SERVERS: usize = 3;
+
+struct Cluster {
+    domain: FlockDomain,
+    servers: Vec<FlockServer>,
+    txn_servers: Vec<Arc<TxnServer>>,
+    handles: Vec<Arc<ConnectionHandle>>,
+}
+
+fn cluster() -> Cluster {
+    let domain = FlockDomain::with_defaults();
+    let mut servers = Vec::new();
+    let mut txn_servers = Vec::new();
+    for i in 0..N_SERVERS {
+        let node = domain.add_node(&format!("txn-srv-{i}"));
+        let server =
+            FlockServer::listen(&domain, &node, &format!("txn{i}"), ServerConfig::default());
+        let idx = server.attach_mreg(1 << 20); // 128k version slots
+        let ts = TxnServer::new(i, server.mem_region(idx).unwrap());
+        ts.register(&server);
+        servers.push(server);
+        txn_servers.push(ts);
+    }
+    let client_node = domain.add_node("txn-client");
+    let handles: Vec<Arc<ConnectionHandle>> = (0..N_SERVERS)
+        .map(|i| {
+            Arc::new(
+                ConnectionHandle::connect(
+                    &domain,
+                    &client_node,
+                    &format!("txn{i}"),
+                    HandleConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+    Cluster {
+        domain,
+        servers,
+        txn_servers,
+        handles,
+    }
+}
+
+fn load(c: &Cluster, key: u64, value: &[u8]) {
+    let p = key_partition(key, N_SERVERS);
+    c.txn_servers[p].load(key, value);
+}
+
+fn teardown(c: Cluster) {
+    for s in &c.servers {
+        s.shutdown(&c.domain);
+    }
+}
+
+#[test]
+fn read_only_transaction_commits() {
+    let c = cluster();
+    load(&c, 100, b"alpha");
+    load(&c, 200, b"beta");
+    let client = TxnClient::new(&c.handles);
+    let outcome = client.run(&[100, 200], &[], |_| HashMap::new()).unwrap();
+    let TxnOutcome::Committed(values) = outcome else {
+        panic!("read-only txn aborted");
+    };
+    assert_eq!(values[&100].as_deref(), Some(b"alpha".as_slice()));
+    assert_eq!(values[&200].as_deref(), Some(b"beta".as_slice()));
+    teardown(c);
+}
+
+#[test]
+fn write_transaction_commits_and_replicates() {
+    let c = cluster();
+    load(&c, 42, &0u64.to_le_bytes());
+    let client = TxnClient::new(&c.handles);
+    let outcome = client
+        .run(&[], &[42], |vals| {
+            let old = u64::from_le_bytes(vals[&42].as_ref().unwrap()[..8].try_into().unwrap());
+            HashMap::from([(42u64, (old + 5).to_le_bytes().to_vec())])
+        })
+        .unwrap();
+    assert!(matches!(outcome, TxnOutcome::Committed(_)));
+    // Primary has the new value.
+    let p = key_partition(42, N_SERVERS);
+    assert_eq!(
+        c.txn_servers[p].peek(42).unwrap(),
+        5u64.to_le_bytes().to_vec()
+    );
+    // Both replicas logged it.
+    for r in flock_txn::protocol::replicas_of(p, N_SERVERS) {
+        assert_eq!(
+            c.txn_servers[r].peek_backup(42).unwrap(),
+            5u64.to_le_bytes().to_vec(),
+            "replica {r} missing the logged write"
+        );
+    }
+    teardown(c);
+}
+
+#[test]
+fn validation_detects_conflicting_update() {
+    let c = cluster();
+    load(&c, 77, b"v1");
+    let client = TxnClient::new(&c.handles);
+    // Execute a read, then mutate the key behind the txn's back before
+    // validation would... we cannot pause mid-txn from here, so instead
+    // exercise the conflict path via lock contention: lock 77 with a
+    // first transaction's execute by using a second client mid-flight.
+    // Simplest deterministic check: bump the version directly between two
+    // transactions and confirm the second read sees the new version
+    // (sanity), then verify lock conflicts abort.
+    let p = key_partition(77, N_SERVERS);
+    // Take the lock directly (as if another coordinator crashed mid-txn).
+    let resp = c.txn_servers[p].handle(&flock_txn::TxnRpc::Execute {
+        txn_id: 999,
+        reads: vec![],
+        writes: vec![77],
+    });
+    assert!(matches!(resp, flock_txn::TxnResp::Execute { ok: true, .. }));
+    // Now a write transaction on 77 must abort (lock conflict).
+    let outcome = client
+        .run(&[], &[77], |_| HashMap::from([(77u64, b"v2".to_vec())]))
+        .unwrap();
+    assert_eq!(outcome, TxnOutcome::Aborted);
+    // A read-only transaction on 77 must also abort: the version word is
+    // locked, so one-sided validation fails.
+    let outcome = client.run(&[77], &[], |_| HashMap::new()).unwrap();
+    assert_eq!(outcome, TxnOutcome::Aborted);
+    // Release the stray lock; both now commit.
+    c.txn_servers[p].handle(&flock_txn::TxnRpc::Abort {
+        txn_id: 999,
+        writes: vec![77],
+    });
+    let outcome = client.run(&[77], &[], |_| HashMap::new()).unwrap();
+    assert!(matches!(outcome, TxnOutcome::Committed(_)));
+    teardown(c);
+}
+
+#[test]
+fn multi_partition_transaction() {
+    let c = cluster();
+    // Find keys on three different partitions.
+    let mut keys = [0u64; 3];
+    for p in 0..3 {
+        keys[p] = (0..).find(|&k| key_partition(k, N_SERVERS) == p).unwrap();
+    }
+    for &k in &keys {
+        load(&c, k, &100u64.to_le_bytes());
+    }
+    let client = TxnClient::new(&c.handles);
+    let outcome = client
+        .run(&[], &keys, |vals| {
+            keys.iter()
+                .map(|&k| {
+                    let old =
+                        u64::from_le_bytes(vals[&k].as_ref().unwrap()[..8].try_into().unwrap());
+                    (k, (old + 1).to_le_bytes().to_vec())
+                })
+                .collect()
+        })
+        .unwrap();
+    assert!(matches!(outcome, TxnOutcome::Committed(_)));
+    for &k in &keys {
+        let p = key_partition(k, N_SERVERS);
+        assert_eq!(
+            c.txn_servers[p].peek(k).unwrap(),
+            101u64.to_le_bytes().to_vec()
+        );
+    }
+    teardown(c);
+}
+
+#[test]
+fn smallbank_conserves_money_under_concurrency() {
+    let c = cluster();
+    let bank = Smallbank::new(50);
+    for (k, v) in bank.load_keys() {
+        load(&c, k, &v);
+    }
+    let initial_total: u64 = 50 * 2 * 1000;
+
+    let handles = c.handles.clone();
+    let mut joins = Vec::new();
+    for t in 0..3u64 {
+        let handles = handles.clone();
+        let bank = bank.clone();
+        joins.push(std::thread::spawn(move || {
+            let client = TxnClient::new(&handles);
+            let mut rng = SimRng::new(100 + t);
+            let mut commits = 0u64;
+            let mut aborts = 0u64;
+            for _ in 0..120 {
+                // Only money-conserving ops: send_payment between two
+                // checking accounts.
+                let spec = loop {
+                    let s = bank.next(&mut rng);
+                    if s.kind == "send_payment" {
+                        break s;
+                    }
+                };
+                let (from, to) = (spec.writes[0], spec.writes[1]);
+                let outcome = client
+                    .run(&[], &spec.writes, |vals| {
+                        let f = u64::from_le_bytes(
+                            vals[&from].as_ref().unwrap()[..8].try_into().unwrap(),
+                        );
+                        let tv = u64::from_le_bytes(
+                            vals[&to].as_ref().unwrap()[..8].try_into().unwrap(),
+                        );
+                        let amount = 1.min(f);
+                        HashMap::from([
+                            (from, (f - amount).to_le_bytes().to_vec()),
+                            (to, (tv + amount).to_le_bytes().to_vec()),
+                        ])
+                    })
+                    .unwrap();
+                match outcome {
+                    TxnOutcome::Committed(_) => commits += 1,
+                    TxnOutcome::Aborted => aborts += 1,
+                }
+            }
+            (commits, aborts)
+        }));
+    }
+    let mut commits = 0;
+    let mut aborts = 0;
+    for j in joins {
+        let (cm, ab) = j.join().unwrap();
+        commits += cm;
+        aborts += ab;
+    }
+    assert!(commits > 0, "no transaction committed");
+    // With a 4%-hot workload some aborts are expected but not required.
+    let _ = aborts;
+
+    // Money conservation: sum every checking+savings balance.
+    let mut total = 0u64;
+    for a in 0..50 {
+        for key in [Smallbank::savings(a), Smallbank::checking(a)] {
+            let p = key_partition(key, N_SERVERS);
+            let v = c.txn_servers[p].peek(key).unwrap();
+            total += u64::from_le_bytes(v[..8].try_into().unwrap());
+        }
+    }
+    assert_eq!(total, initial_total, "money created or destroyed");
+    teardown(c);
+}
+
+#[test]
+fn concurrent_increments_are_serializable() {
+    let c = cluster();
+    load(&c, 1234, &0u64.to_le_bytes());
+    let handles = c.handles.clone();
+    let mut joins = Vec::new();
+    let per_thread = 50;
+    for _ in 0..4 {
+        let handles = handles.clone();
+        joins.push(std::thread::spawn(move || {
+            let client = TxnClient::new(&handles);
+            let mut committed = 0;
+            while committed < per_thread {
+                let outcome = client
+                    .run(&[], &[1234], |vals| {
+                        let old = u64::from_le_bytes(
+                            vals[&1234].as_ref().unwrap()[..8].try_into().unwrap(),
+                        );
+                        HashMap::from([(1234u64, (old + 1).to_le_bytes().to_vec())])
+                    })
+                    .unwrap();
+                if matches!(outcome, TxnOutcome::Committed(_)) {
+                    committed += 1;
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let p = key_partition(1234, N_SERVERS);
+    let v = c.txn_servers[p].peek(1234).unwrap();
+    assert_eq!(
+        u64::from_le_bytes(v[..8].try_into().unwrap()),
+        4 * per_thread
+    );
+    teardown(c);
+}
+
+/// The pipelined (coroutine-style) coordinator: many concurrent
+/// transactions from one OS thread, money conserved, throughput sane.
+#[test]
+fn pipelined_coordinator_overlaps_transactions() {
+    use flock_txn::workloads::TxnSpec;
+    use flock_txn::{PipelinedTxnClient, TxnLogic};
+
+    let c = cluster();
+    let bank = Smallbank::new(60);
+    for (k, v) in bank.load_keys() {
+        load(&c, k, &v);
+    }
+    let initial_total: u64 = 60 * 2 * 1000;
+
+    struct Payments {
+        bank: Smallbank,
+        rng: SimRng,
+    }
+    impl TxnLogic for Payments {
+        fn next(&mut self) -> TxnSpec {
+            loop {
+                let s = self.bank.next(&mut self.rng);
+                if s.kind == "send_payment" || s.kind == "balance" {
+                    return s;
+                }
+            }
+        }
+        fn compute(
+            &mut self,
+            spec: &TxnSpec,
+            values: &HashMap<u64, Option<Vec<u8>>>,
+        ) -> HashMap<u64, Vec<u8>> {
+            if spec.writes.is_empty() {
+                return HashMap::new();
+            }
+            let (from, to) = (spec.writes[0], spec.writes[1]);
+            let f = u64::from_le_bytes(values[&from].as_ref().unwrap()[..8].try_into().unwrap());
+            let t = u64::from_le_bytes(values[&to].as_ref().unwrap()[..8].try_into().unwrap());
+            let amount = 5.min(f);
+            HashMap::from([
+                (from, (f - amount).to_le_bytes().to_vec()),
+                (to, (t + amount).to_le_bytes().to_vec()),
+            ])
+        }
+    }
+
+    let mut client = PipelinedTxnClient::new(&c.handles);
+    let mut logic = Payments {
+        bank: bank.clone(),
+        rng: SimRng::new(4242),
+    };
+    // 8 transactions in flight from ONE OS thread.
+    let stats = client.run(&mut logic, 8, 200).unwrap();
+    assert!(stats.commits >= 200);
+
+    let mut total = 0u64;
+    for a in 0..60 {
+        for key in [Smallbank::savings(a), Smallbank::checking(a)] {
+            let p = key_partition(key, N_SERVERS);
+            let v = c.txn_servers[p].peek(key).unwrap();
+            total += u64::from_le_bytes(v[..8].try_into().unwrap());
+        }
+    }
+    assert_eq!(total, initial_total, "money conservation violated");
+    teardown(c);
+}
+
+/// Async one-sided operations overlap on one thread (the machinery the
+/// pipelined coordinator relies on).
+#[test]
+fn async_memops_overlap() {
+    let c = cluster();
+    // Use server 0's version region as plain remote memory.
+    let handle = &c.handles[0];
+    let t = handle.register_thread();
+    // Launch 6 concurrent writes, then 6 concurrent reads, from one thread.
+    let tokens: Vec<_> = (0..6u64)
+        .map(|i| t.write_async(0, i * 64, &(i + 100).to_le_bytes()).unwrap())
+        .collect();
+    for tok in tokens {
+        t.wait_mem(tok).unwrap();
+    }
+    let tokens: Vec<_> = (0..6u64)
+        .map(|i| t.read_async(0, i * 64, 8).unwrap())
+        .collect();
+    for (i, tok) in tokens.into_iter().enumerate() {
+        let v = t.wait_mem(tok).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), i as u64 + 100);
+    }
+    teardown(c);
+}

@@ -1,0 +1,124 @@
+//! A network-served ordered index (paper §8.6): HydraList behind Flock
+//! RPC, answering point lookups and range scans from many client threads.
+//!
+//! Run with: `cargo run --release --example index_service`
+
+use std::sync::Arc;
+
+use flock_repro::core::client::HandleConfig;
+use flock_repro::core::server::{FlockServer, ServerConfig};
+use flock_repro::core::{ConnectionHandle, FlockDomain};
+use flock_repro::hydralist::{HydraConfig, HydraList};
+use flock_repro::sim::SimRng;
+
+const RPC_GET: u32 = 1;
+const RPC_SCAN: u32 = 2;
+const RPC_INSERT: u32 = 3;
+const KEYS: u64 = 100_000;
+
+fn main() {
+    let domain = FlockDomain::with_defaults();
+    let server_node = domain.add_node("idx-server");
+    let server = FlockServer::listen(&domain, &server_node, "index", ServerConfig::default());
+
+    // Build and preload the index (8 B keys and values, like the paper).
+    let index = Arc::new(HydraList::new(HydraConfig::default()));
+    for k in 0..KEYS {
+        index.insert(k * 2, k);
+    }
+    println!(
+        "index loaded: {} keys across {} data nodes",
+        index.len(),
+        index.node_count()
+    );
+
+    {
+        let index = Arc::clone(&index);
+        server.reg_handler(RPC_GET, move |req| {
+            let key = u64::from_le_bytes(req[..8].try_into().unwrap());
+            index.get(key).unwrap_or(u64::MAX).to_le_bytes().to_vec()
+        });
+    }
+    {
+        let index = Arc::clone(&index);
+        // Paper §8.6: scans use range 64 and the server replies with the
+        // number of keys found as an 8 B response.
+        server.reg_handler(RPC_SCAN, move |req| {
+            let start = u64::from_le_bytes(req[..8].try_into().unwrap());
+            (index.scan(start, 64).len() as u64).to_le_bytes().to_vec()
+        });
+    }
+    {
+        let index = Arc::clone(&index);
+        server.reg_handler(RPC_INSERT, move |req| {
+            let key = u64::from_le_bytes(req[..8].try_into().unwrap());
+            let value = u64::from_le_bytes(req[8..16].try_into().unwrap());
+            index.insert(key, value);
+            b"ok".to_vec()
+        });
+    }
+
+    // Two client machines, 90% get / 10% scan plus a writer thread.
+    let mut joins = Vec::new();
+    let mut handles = Vec::new();
+    for c in 0..2 {
+        let node = domain.add_node(&format!("idx-client-{c}"));
+        let handle = Arc::new(
+            ConnectionHandle::connect(&domain, &node, "index", HandleConfig::default()).unwrap(),
+        );
+        for t in 0..3u64 {
+            let th = handle.register_thread();
+            joins.push(std::thread::spawn(move || {
+                let mut rng = SimRng::new(c as u64 * 10 + t);
+                let (mut gets, mut scans, mut found) = (0u64, 0u64, 0u64);
+                for _ in 0..200 {
+                    let key = rng.below(KEYS) * 2;
+                    if rng.chance(0.9) {
+                        let v = th.call(RPC_GET, &key.to_le_bytes()).unwrap();
+                        let v = u64::from_le_bytes(v.try_into().unwrap());
+                        assert_eq!(v, key / 2, "index returned the wrong value");
+                        gets += 1;
+                    } else {
+                        let n = th.call(RPC_SCAN, &key.to_le_bytes()).unwrap();
+                        found += u64::from_le_bytes(n.try_into().unwrap());
+                        scans += 1;
+                    }
+                }
+                (gets, scans, found)
+            }));
+        }
+        handles.push(handle);
+    }
+    // A writer extends the keyspace concurrently.
+    {
+        let th = handles[0].register_thread();
+        joins.push(std::thread::spawn(move || {
+            for i in 0..100u64 {
+                let key = (KEYS + i) * 2;
+                let mut payload = key.to_le_bytes().to_vec();
+                payload.extend_from_slice(&(key / 2).to_le_bytes());
+                th.call(RPC_INSERT, &payload).unwrap();
+            }
+            (0, 0, 0)
+        }));
+    }
+
+    let (mut gets, mut scans, mut found) = (0u64, 0u64, 0u64);
+    for j in joins {
+        let (g, s, f) = j.join().unwrap();
+        gets += g;
+        scans += s;
+        found += f;
+    }
+    println!(
+        "{gets} gets, {scans} scans ({} keys touched by scans), inserts grew the index to {}",
+        found,
+        index.len()
+    );
+    println!(
+        "server coalescing degree: {:.2}",
+        server.stats().mean_coalescing_degree()
+    );
+    assert_eq!(index.len() as u64, KEYS + 100);
+    server.shutdown(&domain);
+}

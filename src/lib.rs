@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the Flock reproduction workspace.
+pub use flock_baselines as baselines;
+pub use flock_core as core;
+pub use flock_fabric as fabric;
+pub use flock_hydralist as hydralist;
+pub use flock_kvstore as kvstore;
+pub use flock_models as models;
+pub use flock_sim as sim;
+pub use flock_txn as txn;

@@ -1,0 +1,152 @@
+//! A mixed-workload stress test: RPCs, one-sided operations, and
+//! transactions hammering the same three-server cluster from multiple
+//! client nodes concurrently — everything the paper's API surface offers,
+//! at once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flock_repro::core::client::HandleConfig;
+use flock_repro::core::server::{FlockServer, ServerConfig};
+use flock_repro::core::{ConnectionHandle, FlockDomain};
+use flock_repro::sim::SimRng;
+use flock_repro::txn::protocol::key_partition;
+use flock_repro::txn::{Smallbank, TxnClient, TxnOutcome, TxnServer};
+
+const N_SERVERS: usize = 3;
+const RPC_ECHO: u32 = 100;
+
+#[test]
+fn mixed_rpc_memops_and_transactions_under_load() {
+    let domain = FlockDomain::with_defaults();
+    let mut servers = Vec::new();
+    let mut txn_servers = Vec::new();
+    for i in 0..N_SERVERS {
+        let node = domain.add_node(&format!("stress-s{i}"));
+        let mut cfg = ServerConfig::default();
+        cfg.sched.grant_size = 16; // extra credit churn
+        let server = FlockServer::listen(&domain, &node, &format!("stress{i}"), cfg);
+        let region = server.attach_mreg(1 << 20);
+        let ts = TxnServer::new(i, server.mem_region(region).unwrap());
+        ts.register(&server);
+        server.reg_handler(RPC_ECHO, |req| req.to_vec());
+        servers.push(server);
+        txn_servers.push(ts);
+    }
+
+    let bank = Smallbank::new(80);
+    for (k, v) in bank.load_keys() {
+        txn_servers[key_partition(k, N_SERVERS)].load(k, &v);
+    }
+    let initial_total: u64 = 80 * 2 * 1000;
+
+    // Two client machines, each with handles to all three servers.
+    let mut joins = Vec::new();
+    let mut all_handles = Vec::new();
+    for c in 0..2u64 {
+        let cnode = domain.add_node(&format!("stress-c{c}"));
+        let handles: Vec<Arc<ConnectionHandle>> = (0..N_SERVERS)
+            .map(|i| {
+                let mut cfg = HandleConfig::default();
+                cfg.n_qps = 2; // force sharing among the workload threads
+                Arc::new(
+                    ConnectionHandle::connect(&domain, &cnode, &format!("stress{i}"), cfg).unwrap(),
+                )
+            })
+            .collect();
+
+        // Transaction workers (money-conserving transfers).
+        for w in 0..2u64 {
+            let handles = handles.clone();
+            let bank = bank.clone();
+            joins.push(std::thread::spawn(move || {
+                let client = TxnClient::new(&handles);
+                let mut rng = SimRng::new(c * 100 + w);
+                let mut commits = 0;
+                while commits < 40 {
+                    let spec = loop {
+                        let s = bank.next(&mut rng);
+                        if s.kind == "send_payment" {
+                            break s;
+                        }
+                    };
+                    let (from, to) = (spec.writes[0], spec.writes[1]);
+                    if let TxnOutcome::Committed(_) = client
+                        .run(&[], &spec.writes, |vals| {
+                            let f = u64::from_le_bytes(
+                                vals[&from].as_ref().unwrap()[..8].try_into().unwrap(),
+                            );
+                            let t = u64::from_le_bytes(
+                                vals[&to].as_ref().unwrap()[..8].try_into().unwrap(),
+                            );
+                            let amt = 3.min(f);
+                            HashMap::from([
+                                (from, (f - amt).to_le_bytes().to_vec()),
+                                (to, (t + amt).to_le_bytes().to_vec()),
+                            ])
+                        })
+                        .unwrap()
+                    {
+                        commits += 1;
+                    }
+                }
+            }));
+        }
+
+        // RPC workers (pipelined echoes to every server).
+        for _ in 0..2 {
+            let threads: Vec<_> = handles.iter().map(|h| h.register_thread()).collect();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..80u64 {
+                    let payload = i.to_le_bytes();
+                    let seqs: Vec<(usize, u64)> = threads
+                        .iter()
+                        .enumerate()
+                        .map(|(s, t)| (s, t.send_rpc(RPC_ECHO, &payload).unwrap()))
+                        .collect();
+                    for (s, seq) in seqs {
+                        assert_eq!(threads[s].recv_res(seq).unwrap(), payload);
+                    }
+                }
+            }));
+        }
+
+        // One-sided workers writing to a private scratch area of server
+        // 0's version region (high offsets, untouched by the txn slots).
+        {
+            let t = handles[0].register_thread();
+            joins.push(std::thread::spawn(move || {
+                let base = 512 * 1024 + c * 4096;
+                for i in 0..60u64 {
+                    t.write(0, base + (i % 16) * 8, &(c * 1000 + i).to_le_bytes())
+                        .unwrap();
+                    let v = t.read(0, base + (i % 16) * 8, 8).unwrap();
+                    assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), c * 1000 + i);
+                }
+            }));
+        }
+
+        // Keep the handles (and their dispatchers) alive until every
+        // worker has joined.
+        all_handles.push(handles);
+    }
+
+    for j in joins {
+        j.join().unwrap();
+    }
+    drop(all_handles);
+
+    // Invariant: the transfers conserved money despite everything else.
+    let mut total = 0u64;
+    for a in 0..80 {
+        for key in [Smallbank::savings(a), Smallbank::checking(a)] {
+            let p = key_partition(key, N_SERVERS);
+            let v = txn_servers[p].peek(key).unwrap();
+            total += u64::from_le_bytes(v[..8].try_into().unwrap());
+        }
+    }
+    assert_eq!(total, initial_total);
+    for s in &servers {
+        s.shutdown(&domain);
+    }
+}
