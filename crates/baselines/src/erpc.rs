@@ -516,10 +516,11 @@ mod tests {
         assert_eq!(r.add(1, vec![3]).unwrap(), vec![1, 3, 5]);
     }
 
+    // Any fragment must fit a 4 KB UD datagram with its header.
+    const _: () = assert!(FRAG_PAYLOAD + PKT_HDR <= 4096);
+
     #[test]
     fn fragment_sizing_matches_mtu() {
-        // Any fragment must fit a 4 KB UD datagram with its header.
-        assert!(FRAG_PAYLOAD + PKT_HDR <= 4096);
         let payload = vec![0u8; FRAG_PAYLOAD];
         let b = encode_pkt(KIND_REQ, 0, 0, 0, 0, 1, &payload);
         assert!(b.len() <= 4096);

@@ -10,9 +10,10 @@
 //! unmodified [`flock_core::server::FlockServer`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use flock_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use flock_core::sync::{self, Arc};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
@@ -268,7 +269,7 @@ impl LockThread {
                         if Instant::now() > deadline {
                             return Err(FlockError::Timeout);
                         }
-                        parking_lot::MutexGuard::unlocked(&mut lane, std::thread::yield_now);
+                        parking_lot::MutexGuard::unlocked(&mut lane, sync::thread::yield_now);
                     }
                     Err(e) => return Err(e),
                 }
@@ -393,7 +394,7 @@ fn dispatcher_loop(inner: &Inner) {
             }
         }
         if !progressed {
-            std::thread::yield_now();
+            sync::thread::yield_now();
         }
     }
     for slot in inner.threads.lock().iter() {

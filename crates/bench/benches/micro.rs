@@ -165,7 +165,7 @@ fn bench_sim_engine(c: &mut Criterion) {
             }
             fn tick(w: &mut W, sim: &mut Sim<W>) {
                 w.ticks += 1;
-                if w.ticks % 4 != 0 {
+                if !w.ticks.is_multiple_of(4) {
                     sim.after(Ns(10), tick);
                 }
             }

@@ -918,7 +918,7 @@ fn flush_items(inner: &HandleInner, qp: &ClientQpCtx, items: Vec<ClientReq>) -> 
             addr: qp.req_remote.addr + reservation.offset as u64,
         },
     );
-    if n % inner.cfg.signal_every != 0 {
+    if !n.is_multiple_of(inner.cfg.signal_every) {
         wr = wr.unsignaled();
     }
     qp.qp.post_send(wr)?;

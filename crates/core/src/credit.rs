@@ -5,6 +5,12 @@
 //! `C` credits and asks for `C` more once half are consumed, so renewal
 //! latency hides behind the remaining half. The receiver's QP scheduler
 //! may decline a renewal, which deactivates the QP on both ends.
+//!
+//! Concurrency discipline: credit state is per-QP and owned by the QP's
+//! driving thread (the TCQ leader of the moment); it is mutated only
+//! between `join`/`complete` pairs, never concurrently. No atomics —
+//! any future shared-state access must go through [`crate::sync`] so it
+//! stays visible to the loom model checker (see DESIGN.md).
 
 /// Default bootstrap credit count (paper: `C = 32`).
 pub const DEFAULT_CREDITS: u32 = 32;

@@ -60,6 +60,7 @@ pub mod msg;
 pub mod ring;
 pub mod sched;
 pub mod server;
+pub mod sync;
 pub mod tcq;
 
 pub use client::{ConnectionHandle, FlThread, HandleConfig, HandleMetrics, MemToken, QpMetrics};

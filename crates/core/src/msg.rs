@@ -98,6 +98,10 @@ pub fn encode(buf: &mut [u8], header: &MsgHeader, entries: &[EntryRef<'_>]) -> R
         });
     }
     debug_assert!(entries.iter().all(|e| e.meta.len as usize == e.data.len()));
+    debug_assert!(
+        header.canary != 0,
+        "canary 0 is reserved for empty/in-flight slots (see decode)"
+    );
 
     buf[0..4].copy_from_slice(&(total as u32).to_le_bytes());
     buf[4..6].copy_from_slice(&(entries.len() as u16).to_le_bytes());
@@ -215,6 +219,16 @@ pub fn decode(buf: &[u8]) -> Result<Option<MsgView<'_>>> {
     let canary = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
     let head = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
     let aux = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
+
+    if canary == 0 {
+        // Canaries are always nonzero (encode rejects zero), so a zero
+        // canary means the header has not fully landed: the trailer slot
+        // is also still zero and would spuriously "match". Without this
+        // check, polling a partially-landed header reaches the structural
+        // validation below and reports a hard error for an in-flight
+        // write. Mirrors the wrap-record check in `ring::RingConsumer`.
+        return Ok(None);
+    }
 
     let trailer = u64::from_le_bytes(
         buf[total - TRAILER_SIZE..total]

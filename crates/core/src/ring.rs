@@ -17,6 +17,14 @@
 //! after zeroing consumed bytes, so the producer can safely overwrite
 //! anything before it). The producer never issues an RDMA read on the hot
 //! path.
+//!
+//! Concurrency discipline: a ring endpoint is **single-owner** — exactly
+//! one thread drives a `RingProducer` or `RingConsumer` (cross-thread
+//! submission is serialized upstream by the TCQ, [`crate::tcq`]), and
+//! producer/consumer never share host memory words except through the
+//! canary protocol validated by `poll`. There are therefore no atomics
+//! here; any future shared-state access must go through [`crate::sync`]
+//! so it stays visible to the loom model checker (see DESIGN.md).
 
 use flock_fabric::MemoryRegion;
 
@@ -47,7 +55,7 @@ pub struct RingLayout {
 impl RingLayout {
     /// Create a layout; `capacity` must be a nonzero multiple of 64.
     pub fn new(base: usize, capacity: usize) -> RingLayout {
-        assert!(capacity > 0 && capacity % RING_ALIGN == 0);
+        assert!(capacity > 0 && capacity.is_multiple_of(RING_ALIGN));
         RingLayout { base, capacity }
     }
 

@@ -15,6 +15,12 @@
 //! renewal requests on QP `j` of sender `i` since the last redistribution,
 //! and `U_i = Σ_j U_{i,j}`. Higher utilization means either more QP
 //! contention (higher coalescing degree) or more frequent renewals.
+//!
+//! Concurrency discipline: the scheduler runs on the server's single
+//! scheduling thread; senders only observe its decisions through credit
+//! renewal responses. No atomics — any future shared-state access must
+//! go through [`crate::sync`] so it stays visible to the loom model
+//! checker (see DESIGN.md).
 
 use std::collections::BTreeMap;
 
@@ -177,9 +183,9 @@ impl QpScheduler {
             for &qp in order.iter().take(target) {
                 new_active[qp] = true;
             }
-            for qp in 0..s.util.len() {
-                if new_active[qp] != s.active[qp] {
-                    changes.push((SenderQp { sender: id, qp }, new_active[qp]));
+            for (qp, &now_active) in new_active.iter().enumerate() {
+                if now_active != s.active[qp] {
+                    changes.push((SenderQp { sender: id, qp }, now_active));
                 }
             }
             s.active = new_active;

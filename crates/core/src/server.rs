@@ -525,7 +525,7 @@ fn flush_response(
             addr: qp.resp_remote.addr + reservation.offset as u64,
         },
     );
-    if nwrite % inner.cfg.signal_every != 0 {
+    if !nwrite.is_multiple_of(inner.cfg.signal_every) {
         wr = wr.unsignaled();
     }
     qp.qp.post_send(wr)?;

@@ -19,9 +19,10 @@
 //!
 //! [Mellor-Crummey & Scott]: https://doi.org/10.1145/103727.103729
 
-use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+
+use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+use crate::sync::{backoff, UnsafeCell};
 
 /// Node states. `WAITING` → (`LEADER` | `SENT`).
 const WAITING: u8 = 0;
@@ -116,6 +117,9 @@ pub struct Tcq<T> {
 // after), and all cross-thread handoff happens through Release/Acquire
 // atomics on `tail`, `next`, and `state`.
 unsafe impl<T: Send> Send for Tcq<T> {}
+// SAFETY: `&Tcq` only exposes `join`/`complete`, which are the protocol
+// entry points described above; `T: Send` suffices because items move
+// between threads but are never aliased concurrently.
 unsafe impl<T: Send> Sync for Tcq<T> {}
 
 impl<T> Default for Tcq<T> {
@@ -191,11 +195,7 @@ impl<T> Tcq<T> {
                 }
                 _ => {
                     spins += 1;
-                    if spins % 128 == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
+                    backoff(spins);
                 }
             }
         }
@@ -209,7 +209,9 @@ impl<T> Tcq<T> {
         // SAFETY: `start` is our own node; the item was deposited before
         // publication and nobody else takes it.
         let mut items = vec![
-            unsafe { (*start).item.get().as_mut().unwrap_unchecked().take() }
+            // SAFETY: `start` is our own node; no other thread accesses
+            // the slot between publication and leadership.
+            unsafe { (*start).item.with_mut(|slot| (*slot).take()) }
                 .expect("leader's own item present"),
         ];
         let mut cur = start;
@@ -224,18 +226,14 @@ impl<T> Tcq<T> {
                 let mut spins = 0u32;
                 while next.is_null() {
                     spins += 1;
-                    if spins % 128 == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
+                    backoff(spins);
                     // SAFETY: as above.
                     next = unsafe { (*cur).next.load(Ordering::Acquire) };
                 }
             }
             // SAFETY: `next` is published (linked) and WAITING: its item
             // was deposited before publication; only we (the leader) take.
-            let item = unsafe { (*next).item.get().as_mut().unwrap_unchecked().take() }
+            let item = unsafe { (*next).item.with_mut(|slot| (*slot).take()) }
                 .expect("follower item present");
             items.push(item);
             nodes.push(next);
@@ -252,24 +250,19 @@ impl<T> Tcq<T> {
         let last = *nodes.last().expect("batch is never empty");
         // SAFETY: `last` is ours until released below.
         let mut next = unsafe { (*last).next.load(Ordering::Acquire) };
-        if next.is_null() {
-            if self
+        if next.is_null()
+            && self
                 .tail
                 .compare_exchange(last, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
-            {
-                // A successor has swapped the tail; wait for the link.
-                let mut spins = 0u32;
-                while next.is_null() {
-                    spins += 1;
-                    if spins % 128 == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
-                    // SAFETY: as above.
-                    next = unsafe { (*last).next.load(Ordering::Acquire) };
-                }
+        {
+            // A successor has swapped the tail; wait for the link.
+            let mut spins = 0u32;
+            while next.is_null() {
+                spins += 1;
+                backoff(spins);
+                // SAFETY: as above.
+                next = unsafe { (*last).next.load(Ordering::Acquire) };
             }
         }
         if !next.is_null() {
@@ -305,7 +298,7 @@ impl<T> Drop for Tcq<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -332,8 +325,10 @@ mod tests {
     #[test]
     fn batch_limit_is_respected() {
         let tcq: Arc<Tcq<usize>> = Arc::new(Tcq::new(4));
-        let n_threads = 8;
-        let per_thread = 50;
+        // Miri runs the same protocol coverage at a fraction of the
+        // iteration count; interpretation is ~100x slower than native.
+        let n_threads = if cfg!(miri) { 4 } else { 8 };
+        let per_thread = if cfg!(miri) { 8 } else { 50 };
         let seen = Arc::new(Mutex::new(Vec::new()));
         let max_degree = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
@@ -366,8 +361,9 @@ mod tests {
     #[test]
     fn every_item_is_delivered_exactly_once_under_contention() {
         let tcq: Arc<Tcq<u64>> = Arc::new(Tcq::new(16));
-        let n_threads = 12u64;
-        let per_thread = 200u64;
+        // Reduced under Miri (see batch_limit_is_respected).
+        let n_threads: u64 = if cfg!(miri) { 4 } else { 12 };
+        let per_thread: u64 = if cfg!(miri) { 16 } else { 200 };
         let seen = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for t in 0..n_threads {
@@ -427,7 +423,8 @@ mod tests {
         while enqueued.load(Ordering::SeqCst) < 4 {
             std::thread::yield_now();
         }
-        std::thread::sleep(std::time::Duration::from_millis(100));
+        let settle = if cfg!(miri) { 5 } else { 100 };
+        std::thread::sleep(std::time::Duration::from_millis(settle));
         tcq.complete(batch);
         for h in handles {
             h.join().unwrap();

@@ -1,0 +1,195 @@
+//! Property-based tests of the ring framing protocol (`flock_core::ring`):
+//! wrap-record/canary round-trips across the wrap boundary, and rejection
+//! of torn or corrupt records.
+//!
+//! These complement the unit tests in `ring.rs` (which pin specific
+//! geometries) by driving the producer/consumer pair through arbitrary
+//! payload sequences on arbitrary small rings, so wrap records fall on
+//! every possible alignment.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use flock_core::msg::{encode, EntryMeta, EntryRef, MsgHeader, HDR_SIZE, META_SIZE, TRAILER_SIZE};
+use flock_core::ring::{RingConsumer, RingLayout, RingProducer, FLAG_WRAP};
+use flock_fabric::{Access, MemoryRegion, MrTable};
+
+/// Encode a one-entry message with `canary` into `buf`, returning its length.
+fn mk_msg(buf: &mut [u8], canary: u64, payload: &[u8]) -> usize {
+    encode(
+        buf,
+        &MsgHeader {
+            total_len: 0,
+            count: 0,
+            flags: 0,
+            canary,
+            head: 0,
+            aux: 0,
+        },
+        &[EntryRef {
+            meta: EntryMeta {
+                len: payload.len() as u32,
+                thread_id: 1,
+                seq: 1,
+                rpc_id: 1,
+            },
+            data: payload,
+        }],
+    )
+    .unwrap()
+}
+
+/// Reserve + "RDMA write" one message, returning whether a wrap record
+/// was emitted.
+fn deliver(mr: &MemoryRegion, prod: &mut RingProducer, canary: u64, payload: &[u8]) -> bool {
+    let mut staging = vec![0u8; 8192];
+    let n = mk_msg(&mut staging, canary, payload);
+    let res = prod.reserve(n).unwrap();
+    let wrapped = if let Some((woff, wlen)) = res.wrap {
+        let rec = RingProducer::wrap_record(wlen, canary);
+        mr.write(woff, &rec).unwrap();
+        true
+    } else {
+        false
+    };
+    mr.write(res.offset, &staging[..n]).unwrap();
+    wrapped
+}
+
+proptest! {
+    /// Every payload sequence round-trips byte-identically through any
+    /// small ring, including messages that cross the wrap boundary via a
+    /// wrap record, and the consumed ring always drains back to empty.
+    #[test]
+    fn roundtrip_across_wrap_boundaries(
+        cap_blocks in 2usize..8,
+        sizes in vec(1usize..120, 1..60),
+    ) {
+        // An odd number of 64-byte blocks, so 128-byte records cannot tile
+        // the ring exactly and the forced-wrap epilogue below terminates.
+        let cap = (2 * cap_blocks + 1) * 64;
+        let t = MrTable::new();
+        let mr = t.register(cap, Access::REMOTE_ALL);
+        let mut prod = RingProducer::new(RingLayout::new(0, cap));
+        let mut cons = RingConsumer::new(RingLayout::new(0, cap));
+        let mut wrapped = 0usize;
+        for (i, &len) in sizes.iter().enumerate() {
+            // Keep each message within the producer's size bound: the
+            // *aligned* encoded size must satisfy aligned * 2 <= capacity.
+            let max_aligned = cap / 128 * 64;
+            let len = len.min(max_aligned - (HDR_SIZE + META_SIZE + TRAILER_SIZE));
+            let payload: Vec<u8> = (0..len).map(|j| (i + j) as u8).collect();
+            if deliver(&mr, &mut prod, i as u64 + 1, &payload) {
+                wrapped += 1;
+            }
+            let m = cons.poll(&mr).unwrap().expect("delivered message");
+            prop_assert_eq!(m.view().to_entries()[0].1, payload.as_slice());
+            prop_assert_eq!(m.header().canary, i as u64 + 1);
+            // Piggyback the head so the producer reuses freed space; this
+            // is what forces wraps on longer sequences.
+            prod.update_head(cons.head());
+        }
+        prop_assert!(cons.poll(&mr).unwrap().is_none(), "ring must drain empty");
+        // Head and tail agree once everything is consumed.
+        prop_assert_eq!(cons.head(), prod.tail());
+        // If the random sizes happened to always tile the ring exactly,
+        // force a wrap: 128-byte records marching through an odd-block
+        // ring must eventually straddle the end.
+        let mut forced = 0usize;
+        while wrapped == 0 {
+            forced += 1;
+            prop_assert!(forced <= cap / 64, "forced wrap did not terminate");
+            if deliver(&mr, &mut prod, 0xF0CE + forced as u64, &[0xA5]) {
+                wrapped += 1;
+            }
+            let m = cons.poll(&mr).unwrap().expect("forced message");
+            prop_assert_eq!(m.view().to_entries()[0].1, &[0xA5][..]);
+            prod.update_head(cons.head());
+        }
+        prop_assert!(wrapped > 0, "wrap path was not exercised");
+    }
+
+    /// `wrap_record` framing is self-consistent for every legal length:
+    /// FLAG_WRAP set, zero entries, canary mirrored head and trailer.
+    #[test]
+    fn wrap_record_framing(len_blocks in 1usize..64, canary in 1u64..) {
+        let len = len_blocks * 64;
+        let rec = RingProducer::wrap_record(len, canary);
+        prop_assert_eq!(rec.len(), len);
+        let total = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
+        let count = u16::from_le_bytes(rec[4..6].try_into().unwrap());
+        let flags = u16::from_le_bytes(rec[6..8].try_into().unwrap());
+        let head_canary = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+        let trailer = u64::from_le_bytes(rec[len - 8..].try_into().unwrap());
+        prop_assert_eq!(total, len);
+        prop_assert_eq!(count, 0);
+        prop_assert_eq!(flags & FLAG_WRAP, FLAG_WRAP);
+        prop_assert_eq!(head_canary, canary);
+        prop_assert_eq!(trailer, canary);
+    }
+
+    /// A torn message — any prefix of the full RDMA write, so the trailer
+    /// canary has not landed — is never consumed and never advances the
+    /// head; completing the write then delivers it intact.
+    #[test]
+    fn torn_record_is_not_consumed(
+        payload in vec(any::<u8>(), 1..100),
+        torn_at_permille in 0usize..1000,
+    ) {
+        let t = MrTable::new();
+        let mr = t.register(1024, Access::REMOTE_ALL);
+        let mut cons = RingConsumer::new(RingLayout::new(0, 1024));
+        let mut staging = vec![0u8; 1024];
+        // Full-width canary, as real endpoints use: its high byte is
+        // nonzero, so no strict prefix of the trailer can match it.
+        let n = mk_msg(&mut staging, 0x5EED_0000_0000_0001, &payload);
+        // Deliver only a prefix: somewhere strictly inside the record.
+        let torn_at = 1 + torn_at_permille * (n - 1) / 1000;
+        mr.write(0, &staging[..torn_at]).unwrap();
+        let polled = cons.poll(&mr).unwrap();
+        prop_assert!(polled.is_none(), "torn record consumed at cut {torn_at}/{n}");
+        prop_assert_eq!(cons.head(), 0);
+        // The rest of the write lands; now it must be consumed intact.
+        mr.write(torn_at, &staging[torn_at..n]).unwrap();
+        let m = cons.poll(&mr).unwrap().expect("completed record");
+        prop_assert_eq!(m.view().to_entries()[0].1, payload.as_slice());
+    }
+
+    /// A torn or corrupt *wrap* record is skipped only once its trailer
+    /// canary matches; until then the consumer stays parked before it.
+    #[test]
+    fn torn_wrap_record_parks_consumer(len_blocks in 1usize..8, canary in 1u64..) {
+        let len = len_blocks * 64;
+        let t = MrTable::new();
+        let mr = t.register(1024, Access::REMOTE_ALL);
+        let mut cons = RingConsumer::new(RingLayout::new(0, 1024));
+        let mut rec = RingProducer::wrap_record(len, canary);
+        // Tear off the trailer: the consumer must not skip the record.
+        rec[len - 8..].fill(0);
+        mr.write(0, &rec).unwrap();
+        prop_assert!(cons.poll(&mr).unwrap().is_none());
+        prop_assert_eq!(cons.head(), 0);
+        // Trailer lands; the record is skipped (head advances past it) and
+        // the ring start is probed, which is empty.
+        mr.write(len - 8, &canary.to_le_bytes()).unwrap();
+        prop_assert!(cons.poll(&mr).unwrap().is_none());
+        prop_assert_eq!(cons.head(), len as u64);
+    }
+
+    /// Corrupt record lengths — below the frame minimum or beyond the ring
+    /// capacity — are reported as errors, never consumed or skipped.
+    #[test]
+    fn corrupt_length_is_rejected(raw_len in 1u32..) {
+        let cap = 1024usize;
+        let hdr = (HDR_SIZE + TRAILER_SIZE) as u32;
+        let t = MrTable::new();
+        let mr = t.register(cap, Access::REMOTE_ALL);
+        let mut cons = RingConsumer::new(RingLayout::new(0, cap));
+        mr.write(0, &raw_len.to_le_bytes()).unwrap();
+        let ok_range = raw_len >= hdr && raw_len as usize <= cap;
+        if !ok_range {
+            prop_assert!(cons.poll(&mr).is_err(), "len {raw_len} accepted");
+            prop_assert_eq!(cons.head(), 0);
+        }
+    }
+}

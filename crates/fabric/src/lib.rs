@@ -23,6 +23,17 @@
 //!   that prices cache misses (PCIe fetches), wire time, doorbells, and
 //!   host polling for the discrete-event experiments.
 //!
+//! ## Concurrency discipline
+//!
+//! This crate sits *below* `flock-core` in the dependency graph, so it
+//! cannot use the `flock_core::sync` std/loom facade. That is fine: its
+//! cross-thread state is locks/condvars plus `Relaxed` stats counters and
+//! ID allocators — no lock-free protocols. Every `Ordering::` site is
+//! inventoried by `cargo audit-orderings` (see `orderings.allow`); any
+//! future lock-free protocol belongs in a crate above `flock-core` where
+//! the loom model checker can reach it (DESIGN.md, "Memory ordering and
+//! verification").
+//!
 //! ## Example
 //!
 //! ```

@@ -170,7 +170,7 @@ impl MemoryRegion {
     }
 
     fn atomic_rmw(&self, offset: usize, f: impl FnOnce(u64) -> u64) -> Result<u64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(FabricError::Misaligned(self.base + offset as u64));
         }
         if offset + 8 > self.len {

@@ -167,11 +167,12 @@ fn execute(
         SendOp::Send { local } => {
             let payload = read_local(node, local)?;
             let is_ud = !qp.transport().connected();
-            if is_ud && fabric.config.ud_drop_probability > 0.0 {
-                if rng.gen::<f64>() < fabric.config.ud_drop_probability {
-                    node.stats().bump(&node.stats().ud_drops);
-                    return Ok(payload.len()); // silently lost on the wire
-                }
+            if is_ud
+                && fabric.config.ud_drop_probability > 0.0
+                && rng.gen::<f64>() < fabric.config.ud_drop_probability
+            {
+                node.stats().bump(&node.stats().ud_drops);
+                return Ok(payload.len()); // silently lost on the wire
             }
             let Some(recv) = dst_qp.pop_recv() else {
                 if is_ud {

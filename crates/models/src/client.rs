@@ -496,14 +496,11 @@ pub fn thread_sched_tick(w: &mut World, sim: &mut Sim<World>, client: usize) {
             .threads
             .iter_mut()
             .enumerate()
-            .map(|(i, t)| {
-                let s = ThreadLoadStats {
-                    thread_id: i as u32,
-                    median_req_size: t.sizes.median(),
-                    requests: t.reqs,
-                    bytes: t.bytes,
-                };
-                s
+            .map(|(i, t)| ThreadLoadStats {
+                thread_id: i as u32,
+                median_req_size: t.sizes.median(),
+                requests: t.reqs,
+                bytes: t.bytes,
             })
             .collect();
         for (tid, rank) in assign_threads(&stats, active.len()) {

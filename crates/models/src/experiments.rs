@@ -199,17 +199,14 @@ fn build_world(cfg: &RpcConfig, n_servers: usize) -> World {
 
     // Register senders with the scheduler; adopt its initial active set.
     if cfg.system == SystemKind::Flock && cfg.scheduling {
-        for s in 0..n_servers {
-            for c in 0..cfg.n_clients {
-                servers[s]
+        for (s, server) in servers.iter_mut().enumerate() {
+            for (c, client) in clients.iter_mut().enumerate() {
+                server
                     .qp_sched
                     .register_sender(c as u32, cfg.lanes_per_client);
-                let map = servers[s]
-                    .qp_sched
-                    .active_map(c as u32)
-                    .expect("registered");
+                let map = server.qp_sched.active_map(c as u32).expect("registered");
                 for (l, active) in map.into_iter().enumerate() {
-                    clients[c].qps[s][l].active = active;
+                    client.qps[s][l].active = active;
                 }
             }
         }

@@ -156,8 +156,8 @@ fn multi_partition_transaction() {
     let c = cluster();
     // Find keys on three different partitions.
     let mut keys = [0u64; 3];
-    for p in 0..3 {
-        keys[p] = (0..).find(|&k| key_partition(k, N_SERVERS) == p).unwrap();
+    for (p, key) in keys.iter_mut().enumerate() {
+        *key = (0..).find(|&k| key_partition(k, N_SERVERS) == p).unwrap();
     }
     for &k in &keys {
         load(&c, k, &100u64.to_le_bytes());

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Model-check the TCQ protocol under the loom scheduler.
+#
+# Equivalent to `cargo loom` (alias in .cargo/config.toml). Knobs, all
+# optional, are passed through to the model checker:
+#   LOOM_MAX_PREEMPTIONS  preemption bound per execution (default 2)
+#   LOOM_MAX_ITERATIONS   executions per test before giving up (default 500000)
+#   LOOM_MAX_DEPTH        schedule-point bound per execution (default 100000)
+#   LOOM_TRACE=1          print every scheduling decision (very verbose)
+#
+# Extra arguments go to the test binary, e.g. `scripts/loom.sh handoff`.
+set -eu
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="--cfg loom ${RUSTFLAGS:-}"
+exec cargo test -p flock-core --test loom_tcq --release -- "$@"

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `crossbeam` to this shim (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). Only the surface the workspace actually uses is
+//! provided: `crossbeam::channel` with cloneable multi-producer
+//! multi-consumer senders and receivers. Semantics match crossbeam for
+//! that subset: `bounded(n)` blocks senders when full, endpoints are
+//! `Clone + Send + Sync`, and disconnection is observed when all peers
+//! of the other side are dropped.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        recv_cv: Condvar,
+        send_cv: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders have been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.chan.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.send_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.send_cv.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            self.chan.recv_cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a message, blocking until one is available or all
+        /// senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.recv_cv.wait(st).unwrap();
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.send_cv.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline of `timeout` from now.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self.chan.recv_cv.wait_timeout(st, deadline - now).unwrap();
+                st = g;
+            }
+        }
+
+        /// Blocking iterator over received messages; ends on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Create a bounded channel. A capacity of zero is treated as one
+    /// (this shim does not implement rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = unbounded::<u32>();
+        drop(rx2);
+        assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_and_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn endpoints_are_clone_and_shared() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(7u8).unwrap();
+        assert_eq!(rx2.recv(), Ok(7));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `proptest` to this shim (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It supports the subset the workspace uses: the
+//! `proptest!` macro with `pattern in strategy` arguments, integer-range
+//! and `any::<T>()` strategies, tuple strategies, `collection::vec`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are sampled from a fixed
+//! deterministic seed (reproducible across runs; override the count with
+//! `PROPTEST_CASES`), and failing cases are reported but **not shrunk**.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case RNG (xoshiro256++ seeded via splitmix64).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A failed property observation (carried by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of values for one `proptest!` argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = ((rng.next_u64() as u128) % span) as $t;
+                self.start.wrapping_add(v)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let v = ((rng.next_u64() as u128) % span) as $t;
+                lo.wrapping_add(v)
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a default "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "anything of type `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Constant strategy (always yields a clone of the value).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A size specification for [`vec`]: a fixed size or a range.
+    #[derive(Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements sampled from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Driver used by the `proptest!` macro expansion: runs `f` once per
+/// case with a per-case deterministic RNG, panicking on the first
+/// failure with the case number (re-runnable: the seed is fixed).
+pub fn run_cases<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    for case in 0..cases {
+        let mut rng = TestRng::new(0xF10C_u64 << 32 | case);
+        if let Err(e) = f(&mut rng) {
+            panic!("property '{name}' failed at case {case}/{cases}: {e}");
+        }
+    }
+}
+
+/// Define property tests: each function argument is drawn from its
+/// strategy once per case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), prop_rng);)*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not the
+/// whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)+));
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)+));
+    }};
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, Just, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..10, b in 5i64..=9) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..4, vec(0u16..3, 1..4))) {
+            let (x, v) = pair;
+            prop_assert!(x < 4);
+            prop_assert!(!v.is_empty() && v.iter().all(|e| *e < 3));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case() {
+        let r = std::panic::catch_unwind(|| {
+            crate::run_cases("demo", |rng| {
+                let v = rng.next_u64() % 10;
+                crate::prop_assert!(v < 5, "v was {}", v);
+                Ok(())
+            });
+        });
+        assert!(r.is_err());
+    }
+}
