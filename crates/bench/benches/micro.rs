@@ -7,6 +7,7 @@
 use std::sync::Mutex;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flock_bench::ContendedTcq;
 use flock_core::msg::{self, EntryMeta, EntryRef, MsgHeader};
 use flock_core::ring::{RingConsumer, RingLayout, RingProducer};
 use flock_core::tcq::{Outcome, Tcq};
@@ -93,11 +94,66 @@ fn bench_ring(c: &mut Criterion) {
             black_box(m.len())
         })
     });
+    // Wrap-heavy traffic: a 4 KiB ring with ~1.6 KiB messages wraps
+    // every third reservation, exercising the in-place
+    // `write_wrap_record` path (formerly a scratch-Vec per wrap).
+    c.bench_function("ring_wrap_boundary_1600B", |b| {
+        let mr = table.register(1 << 12, Access::REMOTE_ALL);
+        let layout = RingLayout::new(0, 1 << 12);
+        let mut prod = RingProducer::new(layout);
+        let mut cons = RingConsumer::new(layout);
+        let mut staging = vec![0u8; 2048];
+        let payload = [7u8; 1600];
+        let header = MsgHeader {
+            total_len: 0,
+            count: 0,
+            flags: 0,
+            canary: 0x1234,
+            head: 0,
+            aux: 0,
+        };
+        let n = msg::encode(
+            &mut staging,
+            &header,
+            &[EntryRef {
+                meta: EntryMeta {
+                    len: 1600,
+                    thread_id: 0,
+                    seq: 0,
+                    rpc_id: 0,
+                },
+                data: &payload,
+            }],
+        )
+        .unwrap();
+        b.iter(|| {
+            let res = prod.reserve(n).unwrap();
+            if let Some((woff, wlen)) = res.wrap {
+                mr.with_write(|buf| {
+                    RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], 0x1234);
+                });
+            }
+            mr.write(res.offset, &staging[..n]).unwrap();
+            let m = cons.poll(&mr).unwrap().expect("message");
+            prod.update_head(cons.head());
+            black_box(m.len())
+        })
+    });
 }
 
 fn bench_tcq(c: &mut Criterion) {
-    c.bench_function("tcq_join_complete_uncontended", |b| {
-        let tcq: Tcq<u64> = Tcq::new(16);
+    // Pooled (default) vs boxed (the `alloc-per-node` escape-hatch
+    // behavior, selected at runtime via `with_pooling`): same protocol,
+    // only the node/scratch allocation strategy differs.
+    c.bench_function("tcq_pooled_join_complete_uncontended", |b| {
+        let tcq: Tcq<u64> = Tcq::with_pooling(16, true);
+        b.iter(|| match tcq.join(black_box(42)) {
+            Outcome::Lead(batch) => tcq.complete(batch),
+            Outcome::Sent => unreachable!(),
+        })
+    });
+    c.bench_function("tcq_boxed_join_complete_uncontended", |b| {
+        let tcq: Tcq<u64> = Tcq::with_pooling(16, false);
         b.iter(|| match tcq.join(black_box(42)) {
             Outcome::Lead(batch) => tcq.complete(batch),
             Outcome::Sent => unreachable!(),
@@ -110,6 +166,17 @@ fn bench_tcq(c: &mut Criterion) {
             let mut g = lock.lock().unwrap();
             *g = black_box(42);
         })
+    });
+    // Contended: 8 pre-spawned workers, 64 ops each per barrier-gated
+    // round, so one "iter" is a 512-op round (see ContendedTcq; the
+    // bench_baseline binary reports the same scenario as ns/op).
+    c.bench_function("tcq_pooled_contended8_round512", |b| {
+        let h = ContendedTcq::new(true, 8, 64);
+        b.iter(|| h.round())
+    });
+    c.bench_function("tcq_boxed_contended8_round512", |b| {
+        let h = ContendedTcq::new(false, 8, 64);
+        b.iter(|| h.round())
     });
 }
 

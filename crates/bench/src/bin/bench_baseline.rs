@@ -1,0 +1,242 @@
+//! Perf-baseline harness: measures the hot-path microbenchmarks and a
+//! fig6-style end-to-end sweep, emitting `BENCH_micro.json` for
+//! regression tracking (see EXPERIMENTS.md "Perf baseline").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flock-bench --bin bench_baseline -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks every measurement window (CI smoke); `--out`
+//! changes the output path (default `BENCH_micro.json` in the current
+//! directory). The JSON is written by hand — the offline workspace has
+//! no serde — with a stable field order so diffs stay readable.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use flock_bench::ContendedTcq;
+use flock_core::msg::{self, EntryMeta, EntryRef, MsgHeader};
+use flock_core::ring::{RingConsumer, RingLayout, RingProducer};
+use flock_core::tcq::{Outcome, Tcq};
+use flock_fabric::{Access, MrTable};
+use flock_models::{run_rpc, RpcConfig};
+use flock_sim::Ns;
+
+/// Mean ns per call of `f` over a fixed measurement budget.
+fn ns_per_iter(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> f64 {
+    let warm_deadline = Instant::now() + warmup;
+    let mut warm_iters: u64 = 0;
+    while Instant::now() < warm_deadline {
+        f();
+        warm_iters += 1;
+    }
+    // Batch so the clock is read ~200 times, not per iteration.
+    let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+    let batch = ((measure.as_nanos() as f64 / 200.0 / per_iter.max(1.0)) as u64).max(1);
+    let mut total_ns = 0f64;
+    let mut total_iters = 0u64;
+    let deadline = Instant::now() + measure;
+    while Instant::now() < deadline {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total_ns += start.elapsed().as_nanos() as f64;
+        total_iters += batch;
+    }
+    total_ns / total_iters.max(1) as f64
+}
+
+fn tcq_uncontended_ns(pooled: bool, warmup: Duration, measure: Duration) -> f64 {
+    let tcq: Tcq<u64> = Tcq::with_pooling(16, pooled);
+    let mut i = 0u64;
+    ns_per_iter(warmup, measure, || {
+        i += 1;
+        match tcq.join(std::hint::black_box(i)) {
+            Outcome::Lead(batch) => tcq.complete(batch),
+            Outcome::Sent => unreachable!("single-threaded join must lead"),
+        }
+    })
+}
+
+fn ring_wrap_ns(warmup: Duration, measure: Duration) -> f64 {
+    let table = MrTable::new();
+    let mr = table.register(1 << 12, Access::REMOTE_ALL);
+    let layout = RingLayout::new(0, 1 << 12);
+    let mut prod = RingProducer::new(layout);
+    let mut cons = RingConsumer::new(layout);
+    let mut staging = vec![0u8; 2048];
+    let payload = [7u8; 1600];
+    let header = MsgHeader {
+        total_len: 0,
+        count: 0,
+        flags: 0,
+        canary: 0x1234,
+        head: 0,
+        aux: 0,
+    };
+    let n = msg::encode(
+        &mut staging,
+        &header,
+        &[EntryRef {
+            meta: EntryMeta {
+                len: 1600,
+                thread_id: 0,
+                seq: 0,
+                rpc_id: 0,
+            },
+            data: &payload,
+        }],
+    )
+    .expect("staging fits one entry");
+    ns_per_iter(warmup, measure, || {
+        let res = prod.reserve(n).expect("ring is drained every iteration");
+        if let Some((woff, wlen)) = res.wrap {
+            mr.with_write(|buf| {
+                RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], 0x1234);
+            });
+        }
+        mr.write(res.offset, &staging[..n]).expect("in-bounds write");
+        let m = cons.poll(&mr).expect("no corruption").expect("message");
+        prod.update_head(cons.head());
+        std::hint::black_box(m.len());
+    })
+}
+
+fn pct_improvement(boxed: f64, pooled: f64) -> f64 {
+    if boxed <= 0.0 {
+        return 0.0;
+    }
+    (boxed - pooled) / boxed * 100.0
+}
+
+struct SweepPoint {
+    threads: usize,
+    mops: f64,
+    median_us: f64,
+    p99_us: f64,
+    degree: f64,
+}
+
+fn sweep_point(threads: usize, sim_ms: u64) -> SweepPoint {
+    let mut cfg = RpcConfig::default();
+    cfg.threads_per_client = threads;
+    cfg.lanes_per_client = threads;
+    cfg.duration = Ns::from_millis(sim_ms);
+    cfg.warmup = Ns::from_millis((sim_ms / 2).max(1));
+    let r = run_rpc(&cfg);
+    SweepPoint {
+        threads,
+        mops: r.mops,
+        median_us: r.median_us,
+        p99_us: r.p99_us,
+        degree: r.degree,
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_micro.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_baseline [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (warmup, measure, rounds, sim_ms, sweep): (_, _, u32, u64, &[usize]) = if quick {
+        (
+            Duration::from_millis(20),
+            Duration::from_millis(100),
+            50,
+            2,
+            &[1, 8, 48],
+        )
+    } else {
+        (
+            Duration::from_millis(200),
+            Duration::from_secs(1),
+            400,
+            8,
+            &[1, 2, 4, 8, 16, 32, 48],
+        )
+    };
+
+    eprintln!("bench_baseline: micro (quick={quick}) ...");
+    let pooled_unc = tcq_uncontended_ns(true, warmup, measure);
+    let boxed_unc = tcq_uncontended_ns(false, warmup, measure);
+    let (pooled_con, pooled_degree) = {
+        let h = ContendedTcq::new(true, 8, 64);
+        (h.ns_per_op(rounds), h.mean_degree())
+    };
+    let (boxed_con, boxed_degree) = {
+        let h = ContendedTcq::new(false, 8, 64);
+        (h.ns_per_op(rounds), h.mean_degree())
+    };
+    let ring_wrap = ring_wrap_ns(warmup, measure);
+
+    eprintln!("bench_baseline: fig6-style sweep ({} points) ...", sweep.len());
+    let points: Vec<SweepPoint> = sweep.iter().map(|&t| sweep_point(t, sim_ms)).collect();
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    j.push_str("  \"micro\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"tcq_pooled_uncontended_ns\": {pooled_unc:.1},"
+    );
+    let _ = writeln!(j, "    \"tcq_boxed_uncontended_ns\": {boxed_unc:.1},");
+    let _ = writeln!(
+        j,
+        "    \"tcq_uncontended_improvement_pct\": {:.1},",
+        pct_improvement(boxed_unc, pooled_unc)
+    );
+    let _ = writeln!(
+        j,
+        "    \"tcq_pooled_contended8_ns_per_op\": {pooled_con:.1},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"tcq_boxed_contended8_ns_per_op\": {boxed_con:.1},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"tcq_contended_improvement_pct\": {:.1},",
+        pct_improvement(boxed_con, pooled_con)
+    );
+    let _ = writeln!(
+        j,
+        "    \"tcq_pooled_contended8_mean_degree\": {pooled_degree:.2},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"tcq_boxed_contended8_mean_degree\": {boxed_degree:.2},"
+    );
+    let _ = writeln!(j, "    \"ring_wrap_boundary_1600B_ns\": {ring_wrap:.1}");
+    j.push_str("  },\n");
+    j.push_str("  \"fig6_sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"threads\": {}, \"mops\": {:.3}, \"median_us\": {:.2}, \
+             \"p99_us\": {:.2}, \"mean_degree\": {:.2}}}{comma}",
+            p.threads, p.mops, p.median_us, p.p99_us, p.degree
+        );
+    }
+    j.push_str("  ]\n");
+    j.push_str("}\n");
+
+    std::fs::write(&out, &j).expect("write baseline JSON");
+    eprintln!("bench_baseline: wrote {out}");
+    print!("{j}");
+}

@@ -6,6 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use flock_fabric::Node;
 
 use crate::client::{ConnectionHandle, FlThread, HandleConfig};
@@ -35,7 +36,7 @@ pub fn fl_send_rpc(thread: &FlThread, rpc_id: u32, data: &[u8]) -> Result<u64> {
 }
 
 /// Receive the RPC response for `seq` (Table 2: `fl_recv_res`).
-pub fn fl_recv_res(thread: &FlThread, seq: u64) -> Result<Vec<u8>> {
+pub fn fl_recv_res(thread: &FlThread, seq: u64) -> Result<Bytes> {
     thread.recv_res(seq)
 }
 

@@ -3,12 +3,14 @@
 //! sender-side thread scheduling (§5.2), and one-sided memory operations
 //! (§6).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::bounded;
 use flock_fabric::{
     Access, CqOpcode, MemoryRegion, Node, NodeId, RemoteAddr, SendWr, Sge, Transport, WrId,
@@ -66,8 +68,11 @@ impl Default for HandleConfig {
 
 /// A request item travelling through the TCQ.
 pub(crate) enum ClientReq {
-    /// An RPC request: metadata plus payload.
-    Rpc(EntryMeta, Vec<u8>),
+    /// An RPC request: metadata plus payload. The payload is a shared
+    /// [`Bytes`] so handing it from the submitting thread to the leader
+    /// (and retrying/re-batching) never copies the bytes — the only copy
+    /// on the send path is the encode into the staging ring.
+    Rpc(EntryMeta, Bytes),
     /// A pre-built one-sided work request.
     Mem(SendWr),
 }
@@ -165,7 +170,7 @@ pub(crate) struct ThreadCtx {
     outstanding: AtomicU64,
     current_qp: AtomicUsize,
     target_qp: AtomicUsize,
-    inbox: Mutex<HashMap<u64, Vec<u8>>>,
+    inbox: Mutex<HashMap<u64, Bytes>>,
     inbox_cond: Condvar,
     // Stats for Algorithm 1 (since last scheduling interval).
     req_sizes: Mutex<MedianWindow>,
@@ -446,7 +451,19 @@ impl FlThread {
 
     /// Send an RPC request (`fl_send_rpc`); returns the sequence number to
     /// pass to [`FlThread::recv_res`].
+    ///
+    /// Copies `payload` once into a shared buffer. Callers that reuse the
+    /// same payload (or already hold one as [`Bytes`]) should use
+    /// [`FlThread::send_rpc_bytes`], which is copy-free.
     pub fn send_rpc(&self, rpc_id: u32, payload: &[u8]) -> Result<u64> {
+        self.send_rpc_bytes(rpc_id, Bytes::copy_from_slice(payload))
+    }
+
+    /// Send an RPC request whose payload is already a shared buffer:
+    /// the bytes are never copied until the leader encodes them into the
+    /// staging ring (cloning `Bytes` is a refcount bump, so resending the
+    /// same payload allocates nothing).
+    pub fn send_rpc_bytes(&self, rpc_id: u32, payload: Bytes) -> Result<u64> {
         let inner = &self.inner;
         if inner.stop.load(Ordering::Relaxed) {
             return Err(FlockError::Disconnected);
@@ -467,7 +484,7 @@ impl FlThread {
             seq,
             rpc_id,
         };
-        match qp.tcq.join(ClientReq::Rpc(meta, payload.to_vec())) {
+        match qp.tcq.join(ClientReq::Rpc(meta, payload)) {
             Outcome::Lead(batch) => leader_flush(inner, qp, batch)?,
             Outcome::Sent => {}
         }
@@ -475,7 +492,11 @@ impl FlThread {
     }
 
     /// Wait for the response to sequence `seq` (`fl_recv_res`).
-    pub fn recv_res(&self, seq: u64) -> Result<Vec<u8>> {
+    ///
+    /// The returned [`Bytes`] is a zero-copy slice of the coalesced
+    /// response message; it keeps that message's buffer alive until
+    /// dropped.
+    pub fn recv_res(&self, seq: u64) -> Result<Bytes> {
         let deadline = Instant::now() + self.inner.cfg.timeout;
         let mut inbox = self.ctx.inbox.lock();
         loop {
@@ -500,15 +521,22 @@ impl FlThread {
     /// Non-blocking check for the response to `seq` (coroutine-style
     /// pipelining, paper §8.5.2: a thread runs many concurrent
     /// transactions and polls instead of blocking).
-    pub fn try_recv_res(&self, seq: u64) -> Option<Vec<u8>> {
+    pub fn try_recv_res(&self, seq: u64) -> Option<Bytes> {
         let data = self.ctx.inbox.lock().remove(&seq)?;
         self.ctx.outstanding.fetch_sub(1, Ordering::Relaxed);
         Some(data)
     }
 
     /// Convenience: send and wait.
-    pub fn call(&self, rpc_id: u32, payload: &[u8]) -> Result<Vec<u8>> {
+    pub fn call(&self, rpc_id: u32, payload: &[u8]) -> Result<Bytes> {
         let seq = self.send_rpc(rpc_id, payload)?;
+        self.recv_res(seq)
+    }
+
+    /// Convenience: send a shared-buffer payload and wait (copy-free send
+    /// path; see [`FlThread::send_rpc_bytes`]).
+    pub fn call_bytes(&self, rpc_id: u32, payload: Bytes) -> Result<Bytes> {
+        let seq = self.send_rpc_bytes(rpc_id, payload)?;
         self.recv_res(seq)
     }
 
@@ -798,6 +826,20 @@ impl FlThread {
     }
 }
 
+/// Leader-side flush scratch, reused across batches by each thread: any
+/// thread can transiently become a leader, and recycling these buffers
+/// (plus the TCQ's pooled batch scratch) keeps the steady-state flush
+/// allocation-free.
+#[derive(Default)]
+struct FlushScratch {
+    rpcs: Vec<(EntryMeta, Bytes)>,
+    mem_wrs: Vec<SendWr>,
+}
+
+thread_local! {
+    static FLUSH_SCRATCH: RefCell<FlushScratch> = RefCell::new(FlushScratch::default());
+}
+
 /// The leader's flush: partition the batch, post one-sided work requests,
 /// encode the coalesced RPC message, manage credits and ring space, and
 /// issue the RDMA write(s) (paper §4.2, Figure 5).
@@ -806,27 +848,52 @@ fn leader_flush(
     qp: &ClientQpCtx,
     mut batch: crate::tcq::Batch<ClientReq>,
 ) -> Result<()> {
-    let items = batch.take_items();
-    let result = flush_items(inner, qp, items);
+    let result = FLUSH_SCRATCH
+        .try_with(|cell| flush_batch(inner, qp, &mut batch, &mut cell.borrow_mut()))
+        // TLS destructor already ran (thread teardown): fall back to
+        // fresh buffers rather than abandoning the batch.
+        .unwrap_or_else(|_| flush_batch(inner, qp, &mut batch, &mut FlushScratch::default()));
     // Always release followers, even on error: stranding them would
     // deadlock unrelated threads. Their requests time out instead.
     qp.tcq.complete(batch);
     result
 }
 
-fn flush_items(inner: &HandleInner, qp: &ClientQpCtx, items: Vec<ClientReq>) -> Result<()> {
-    let mut rpcs: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
-    let mut mem_wrs: Vec<flock_fabric::SendWr> = Vec::new();
-    for item in items {
+fn flush_batch(
+    inner: &HandleInner,
+    qp: &ClientQpCtx,
+    batch: &mut crate::tcq::Batch<ClientReq>,
+    scratch: &mut FlushScratch,
+) -> Result<()> {
+    scratch.rpcs.clear();
+    scratch.mem_wrs.clear();
+    // Drain in place: the batch keeps its (pooled) buffers for
+    // `Tcq::complete` to recycle, and the payload `Bytes` move without
+    // copying.
+    for item in batch.drain_items() {
         match item {
-            ClientReq::Rpc(meta, data) => rpcs.push((meta, data)),
-            ClientReq::Mem(wr) => mem_wrs.push(wr),
+            ClientReq::Rpc(meta, data) => scratch.rpcs.push((meta, data)),
+            ClientReq::Mem(wr) => scratch.mem_wrs.push(wr),
         }
     }
+    let result = flush_parts(inner, qp, &scratch.rpcs, &scratch.mem_wrs);
+    // Drop payload refcounts promptly (the encode into staging is done);
+    // the buffers themselves are retained for the next batch.
+    scratch.rpcs.clear();
+    scratch.mem_wrs.clear();
+    result
+}
+
+fn flush_parts(
+    inner: &HandleInner,
+    qp: &ClientQpCtx,
+    rpcs: &[(EntryMeta, Bytes)],
+    mem_wrs: &[SendWr],
+) -> Result<()> {
     // One-sided ops are linked into a single chain and posted with one
     // doorbell by the leader (paper §6).
     if !mem_wrs.is_empty() {
-        qp.qp.post_send_many(&mem_wrs)?;
+        qp.qp.post_send_many(mem_wrs)?;
     }
     if rpcs.is_empty() {
         return Ok(());
@@ -868,10 +935,12 @@ fn flush_items(inner: &HandleInner, qp: &ClientQpCtx, items: Vec<ClientReq>) -> 
         }
     };
 
-    // Stage and post the wrap record first, if needed.
+    // Stage and post the wrap record first, if needed (written directly
+    // into the staging mirror: no temporary buffer).
     if let Some((woff, wlen)) = reservation.wrap {
-        let rec = RingProducer::wrap_record(wlen, canary);
-        qp.staging.write(woff, &rec)?;
+        qp.staging.with_write(|buf| {
+            RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], canary)
+        });
         qp.qp.post_send(
             SendWr::write(
                 WrId(0),
@@ -889,16 +958,13 @@ fn flush_items(inner: &HandleInner, qp: &ClientQpCtx, items: Vec<ClientReq>) -> 
         )?;
     }
 
-    // Encode the coalesced message into the staging mirror.
-    let entries: Vec<EntryRef<'_>> = rpcs
-        .iter()
-        .map(|(meta, data)| EntryRef { meta: *meta, data })
-        .collect();
+    // Encode the coalesced message into the staging mirror, straight from
+    // the scratch pairs (no intermediate `Vec<EntryRef>`).
     qp.staging.with_write(|buf| {
-        msg::encode(
+        msg::encode_iter(
             &mut buf[reservation.offset..reservation.offset + need],
             &header,
-            &entries,
+            rpcs.iter().map(|(meta, data)| EntryRef { meta: *meta, data }),
         )
         .map(|_| ())
     })?;
@@ -1035,9 +1101,12 @@ fn dispatcher_loop(inner: &HandleInner) {
                         qp.credit_cond.notify_all();
                     }
                     let threads = inner.threads.read();
-                    for (meta, data) in view.entries() {
+                    for (meta, range) in view.entry_ranges() {
                         if let Some(t) = threads.get(meta.thread_id as usize) {
-                            t.inbox.lock().insert(meta.seq, data.to_vec());
+                            // Zero-copy: each response entry is a slice of
+                            // the shared coalesced-message buffer; the one
+                            // copy out of the ring happened in `poll`.
+                            t.inbox.lock().insert(meta.seq, m.bytes().slice(range));
                             t.inbox_cond.notify_all();
                         }
                     }

@@ -141,6 +141,8 @@ impl MedianWindow {
         if self.filled == 0 {
             return 0;
         }
+        // Copy is fine here: the window is small (≤ its fixed capacity) and
+        // median() runs only on periodic credit renewal, not per-request.
         let mut v: Vec<u32> = self.window[..self.filled].to_vec();
         v.sort_unstable();
         v[(v.len() - 1) / 2]

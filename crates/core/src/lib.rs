@@ -63,6 +63,7 @@ pub mod server;
 pub mod sync;
 pub mod tcq;
 
+pub use bytes::Bytes;
 pub use client::{ConnectionHandle, FlThread, HandleConfig, HandleMetrics, MemToken, QpMetrics};
 pub use domain::{FlockDomain, MemRegionInfo, RingInfo};
 pub use error::{FlockError, Result};

@@ -90,28 +90,36 @@ pub struct EntryRef<'a> {
 /// `total_len` and `count` fields are computed; `flags`, `canary`, `head`
 /// and `aux` are taken from `header`.
 pub fn encode(buf: &mut [u8], header: &MsgHeader, entries: &[EntryRef<'_>]) -> Result<usize> {
-    let total = encoded_size(entries.iter().map(|e| e.data.len()));
+    encode_iter(buf, header, entries.iter().copied())
+}
+
+/// [`encode`] over any cloneable entry iterator.
+///
+/// Hot-path flushes encode straight from their scratch structures
+/// (`(EntryMeta, Bytes)` pairs mapped to [`EntryRef`]s on the fly), so
+/// no intermediate `Vec<EntryRef>` is materialized per message. The
+/// iterator is walked twice (sizing pass, then write pass), hence
+/// `Clone`.
+pub fn encode_iter<'a, I>(buf: &mut [u8], header: &MsgHeader, entries: I) -> Result<usize>
+where
+    I: Iterator<Item = EntryRef<'a>> + Clone,
+{
+    let total = encoded_size(entries.clone().map(|e| e.data.len()));
     if buf.len() < total {
         return Err(FlockError::MessageTooLarge {
             need: total,
             capacity: buf.len(),
         });
     }
-    debug_assert!(entries.iter().all(|e| e.meta.len as usize == e.data.len()));
     debug_assert!(
         header.canary != 0,
         "canary 0 is reserved for empty/in-flight slots (see decode)"
     );
 
-    buf[0..4].copy_from_slice(&(total as u32).to_le_bytes());
-    buf[4..6].copy_from_slice(&(entries.len() as u16).to_le_bytes());
-    buf[6..8].copy_from_slice(&header.flags.to_le_bytes());
-    buf[8..16].copy_from_slice(&header.canary.to_le_bytes());
-    buf[16..24].copy_from_slice(&header.head.to_le_bytes());
-    buf[24..32].copy_from_slice(&header.aux.to_le_bytes());
-
     let mut off = HDR_SIZE;
+    let mut count: u16 = 0;
     for e in entries {
+        debug_assert_eq!(e.meta.len as usize, e.data.len());
         buf[off..off + 4].copy_from_slice(&e.meta.len.to_le_bytes());
         buf[off + 4..off + 8].copy_from_slice(&e.meta.thread_id.to_le_bytes());
         buf[off + 8..off + 16].copy_from_slice(&e.meta.seq.to_le_bytes());
@@ -120,7 +128,16 @@ pub fn encode(buf: &mut [u8], header: &MsgHeader, entries: &[EntryRef<'_>]) -> R
         off += META_SIZE;
         buf[off..off + e.data.len()].copy_from_slice(e.data);
         off += e.data.len();
+        count += 1;
     }
+
+    buf[0..4].copy_from_slice(&(total as u32).to_le_bytes());
+    buf[4..6].copy_from_slice(&count.to_le_bytes());
+    buf[6..8].copy_from_slice(&header.flags.to_le_bytes());
+    buf[8..16].copy_from_slice(&header.canary.to_le_bytes());
+    buf[16..24].copy_from_slice(&header.head.to_le_bytes());
+    buf[24..32].copy_from_slice(&header.aux.to_le_bytes());
+
     buf[off..off + 8].copy_from_slice(&header.canary.to_le_bytes());
     off += 8;
     debug_assert_eq!(off, total);
@@ -163,6 +180,40 @@ impl<'a> MsgView<'a> {
     /// Collect all entries (convenience).
     pub fn to_entries(&self) -> Vec<(EntryMeta, &'a [u8])> {
         self.entries().collect()
+    }
+
+    /// Iterate over entries as `(EntryMeta, Range)` where the range
+    /// indexes the entry's payload within the *full message buffer* the
+    /// view was decoded from (header included).
+    ///
+    /// This lets a receiver that owns the message as a shared buffer
+    /// ([`bytes::Bytes`]) hand out zero-copy payload slices instead of
+    /// `to_vec()`ing each entry.
+    pub fn entry_ranges(&self) -> EntryRangeIter<'a> {
+        EntryRangeIter {
+            inner: self.entries(),
+        }
+    }
+}
+
+/// Iterator over `(EntryMeta, absolute payload range)` pairs of a
+/// [`MsgView`]; see [`MsgView::entry_ranges`].
+#[derive(Debug)]
+pub struct EntryRangeIter<'a> {
+    inner: EntryIter<'a>,
+}
+
+impl Iterator for EntryRangeIter<'_> {
+    type Item = (EntryMeta, std::ops::Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // `EntryIter::off` points past the just-yielded entry, so derive
+        // the absolute range from the pre-call offset instead.
+        let off_before = self.inner.off;
+        let (meta, data) = self.inner.next()?;
+        let start = HDR_SIZE + off_before + META_SIZE;
+        debug_assert_eq!(data.len(), meta.len as usize);
+        Some((meta, start..start + data.len()))
     }
 }
 
@@ -445,6 +496,43 @@ mod tests {
         let aux = pack_aux(u32::MAX, 1234);
         assert_eq!(unpack_aux(aux), (u32::MAX, 1234));
         assert_eq!(unpack_aux(pack_aux(0, 0)), (0, 0));
+    }
+
+    #[test]
+    fn entry_ranges_index_the_full_buffer() {
+        let mut buf = vec![0u8; 1024];
+        let payloads: Vec<Vec<u8>> = (0..4).map(|i| vec![0x40 + i as u8; 7 + i]).collect();
+        let entries: Vec<EntryRef<'_>> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| EntryRef {
+                meta: meta(p.len(), i as u32, i as u64, 2),
+                data: p,
+            })
+            .collect();
+        let n = encode_iter(&mut buf, &header(9), entries.iter().copied()).unwrap();
+        let view = decode(&buf).unwrap().unwrap();
+        for (i, (m, range)) in view.entry_ranges().enumerate() {
+            assert_eq!(m.len as usize, payloads[i].len());
+            assert!(range.end <= n - TRAILER_SIZE);
+            assert_eq!(&buf[range], payloads[i].as_slice());
+        }
+        assert_eq!(view.entry_ranges().count(), 4);
+    }
+
+    #[test]
+    fn encode_iter_matches_slice_encode() {
+        let mut a = vec![0u8; 256];
+        let mut b = vec![0u8; 256];
+        let data = b"same bytes";
+        let e = [EntryRef {
+            meta: meta(data.len(), 1, 2, 3),
+            data,
+        }];
+        let na = encode(&mut a, &header(7), &e).unwrap();
+        let nb = encode_iter(&mut b, &header(7), e.iter().copied()).unwrap();
+        assert_eq!(na, nb);
+        assert_eq!(a[..na], b[..nb]);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! here; any future shared-state access must go through [`crate::sync`]
 //! so it stays visible to the loom model checker (see DESIGN.md).
 
+use bytes::Bytes;
 use flock_fabric::MemoryRegion;
 
 use crate::error::{FlockError, Result};
@@ -156,22 +157,40 @@ impl RingProducer {
     }
 
     /// Build the bytes of a wrap record of `len` bytes with `canary`.
+    ///
+    /// Allocates; hot paths should prefer [`RingProducer::write_wrap_record`]
+    /// into an existing scratch buffer.
     pub fn wrap_record(len: usize, canary: u64) -> Vec<u8> {
-        debug_assert!(len >= HDR_SIZE + TRAILER_SIZE);
         let mut buf = vec![0u8; len];
+        Self::write_wrap_record(&mut buf, canary);
+        buf
+    }
+
+    /// Write a wrap record covering all of `buf` (allocation-free
+    /// counterpart of [`RingProducer::wrap_record`]). `buf.len()` is the
+    /// record length; interior bytes are zeroed.
+    pub fn write_wrap_record(buf: &mut [u8], canary: u64) {
+        let len = buf.len();
+        debug_assert!(len >= HDR_SIZE + TRAILER_SIZE);
+        buf.fill(0);
         buf[0..4].copy_from_slice(&(len as u32).to_le_bytes());
         // count = 0 (bytes 4..6 already zero)
         buf[6..8].copy_from_slice(&FLAG_WRAP.to_le_bytes());
         buf[8..16].copy_from_slice(&canary.to_le_bytes());
         buf[len - 8..len].copy_from_slice(&canary.to_le_bytes());
-        buf
     }
 }
 
-/// A message pulled out of a ring: an owned copy of the encoded bytes.
+/// A message pulled out of a ring: an owned copy of the encoded bytes in
+/// a shared, refcounted buffer.
+///
+/// `poll` copies a message out of the ring exactly once (so the ring
+/// slot can be zeroed and reused immediately); from then on the bytes
+/// are shared — [`OwnedMsg::bytes`] plus [`msg::MsgView::entry_ranges`]
+/// yield per-entry payload [`Bytes`] slices without further copies.
 #[derive(Debug)]
 pub struct OwnedMsg {
-    buf: Vec<u8>,
+    buf: Bytes,
 }
 
 impl OwnedMsg {
@@ -186,6 +205,16 @@ impl OwnedMsg {
     /// The header without re-decoding entries.
     pub fn header(&self) -> MsgHeader {
         self.view().header
+    }
+
+    /// The shared encoded bytes (cheap to clone/slice).
+    pub fn bytes(&self) -> &Bytes {
+        &self.buf
+    }
+
+    /// Take the shared encoded bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf
     }
 
     /// Raw encoded length.
@@ -254,7 +283,12 @@ impl RingConsumer {
                     let adv = align_up(total);
                     mr.with_write(|m| m[pos..pos + total].fill(0));
                     self.head += adv as u64;
-                    return Ok(Some(OwnedMsg { buf }));
+                    // `Bytes::from(Vec)` takes ownership without copying:
+                    // the single copy out of the ring (read_vec above) is
+                    // the last one this message's payload ever sees.
+                    return Ok(Some(OwnedMsg {
+                        buf: Bytes::from(buf),
+                    }));
                 }
             }
         }

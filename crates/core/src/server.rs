@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use flock_fabric::{
     Access, CqOpcode, MemoryRegion, Node, NodeId, Qp, RecvWr, RemoteAddr, SendWr, Sge, Transport,
@@ -58,8 +59,9 @@ pub type Handler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 pub struct IncomingRpc {
     /// The registered RPC id.
     pub rpc_id: u32,
-    /// Request payload.
-    pub data: Vec<u8>,
+    /// Request payload: a zero-copy slice of the coalesced request
+    /// message.
+    pub data: Bytes,
     /// Token to pass to [`FlockServer::send_res`].
     pub token: RpcToken,
 }
@@ -128,6 +130,10 @@ struct ServerInner {
     cfg: ServerConfig,
     handlers: RwLock<HashMap<u32, Handler>>,
     conns: RwLock<Vec<Arc<ServerConn>>>,
+    /// Bumped (under the `conns` write lock) whenever membership changes;
+    /// lets the dispatcher cache its connection snapshot instead of
+    /// cloning the `Arc` vector on every sweep.
+    conns_gen: AtomicU64,
     qpn_map: RwLock<HashMap<u32, (usize, usize)>>,
     qp_sched: Mutex<QpScheduler>,
     mem_mrs: RwLock<Vec<Arc<MemoryRegion>>>,
@@ -161,6 +167,7 @@ impl FlockServer {
             cfg: cfg.clone(),
             handlers: RwLock::new(HashMap::new()),
             conns: RwLock::new(Vec::new()),
+            conns_gen: AtomicU64::new(0),
             qpn_map: RwLock::new(HashMap::new()),
             qp_sched: Mutex::new(QpScheduler::new(cfg.sched.clone())),
             mem_mrs: RwLock::new(Vec::new()),
@@ -246,7 +253,9 @@ impl FlockServer {
             rpc_id: 0,
             ..token.meta
         };
-        flush_response(&self.inner, qp, &[(meta, data.to_vec())], 0, 0)
+        // `flush_response` is generic over the payload, so the response
+        // bytes go straight from the caller's slice into the staging ring.
+        flush_response(&self.inner, qp, &[(meta, data)], 0, 0)
     }
 
     /// Server statistics.
@@ -346,6 +355,10 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
         client_node: req.client_node,
         qps,
     }));
+    // Publish the membership change while still holding the write lock:
+    // a dispatcher that observes the new generation and re-reads `conns`
+    // is guaranteed to see the pushed connection.
+    inner.conns_gen.fetch_add(1, Ordering::Release);
 
     let memory_regions: Vec<MemRegionInfo> = inner
         .mem_mrs
@@ -368,11 +381,28 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
     })
 }
 
+/// Empty response slice with a concrete payload type, for head-only and
+/// credit-control messages (the generic [`flush_response`] cannot infer
+/// `B` from a bare `&[]`).
+const NO_RESPONSES: &[(EntryMeta, &[u8])] = &[];
+
 /// The request dispatcher: polls request rings, runs handlers, coalesces
 /// responses per message, and piggybacks the consumed head.
 fn dispatch_loop(inner: &Arc<ServerInner>) {
+    // Generation-stamped connection snapshot: cloning the `Arc` vector on
+    // every sweep made each idle poll O(conns) in refcount traffic; the
+    // snapshot is refreshed only when `accept_one` publishes a new
+    // generation.
+    let mut conns: Vec<Arc<ServerConn>> = Vec::new();
+    let mut conns_seen = 0u64;
+    // Response scratch, reused across messages (cleared, not freed).
+    let mut responses: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
     while !inner.stop.load(Ordering::Relaxed) {
-        let conns: Vec<Arc<ServerConn>> = inner.conns.read().clone();
+        let gen = inner.conns_gen.load(Ordering::Acquire);
+        if gen != conns_seen {
+            conns.clone_from(&inner.conns.read());
+            conns_seen = gen;
+        }
         let mut progressed = false;
         for (conn_idx, conn) in conns.iter().enumerate() {
             for (qp_idx, qp) in conn.qps.iter().enumerate() {
@@ -387,11 +417,14 @@ fn dispatch_loop(inner: &Arc<ServerInner>) {
                             .fetch_max(view.header.head, Ordering::AcqRel);
                         inner.stats.messages.fetch_add(1, Ordering::Relaxed);
                         let handlers = inner.handlers.read();
-                        let mut responses: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
-                        for (meta, data) in view.entries() {
+                        responses.clear();
+                        for (meta, range) in view.entry_ranges() {
                             inner.stats.requests.fetch_add(1, Ordering::Relaxed);
                             if let Some(h) = handlers.get(&meta.rpc_id) {
-                                let out = h(data);
+                                // The handler's output Vec is the one
+                                // per-request allocation the server keeps:
+                                // the `Handler` signature owns its result.
+                                let out = h(&m.bytes()[range]);
                                 responses.push((
                                     EntryMeta {
                                         len: out.len() as u32,
@@ -404,7 +437,9 @@ fn dispatch_loop(inner: &Arc<ServerInner>) {
                             } else {
                                 let _ = inner.manual_tx.send(IncomingRpc {
                                     rpc_id: meta.rpc_id,
-                                    data: data.to_vec(),
+                                    // Zero-copy slice of the shared
+                                    // request-message buffer.
+                                    data: m.bytes().slice(range),
                                     token: RpcToken {
                                         conn: conn_idx,
                                         qp: qp_idx,
@@ -422,7 +457,7 @@ fn dispatch_loop(inner: &Arc<ServerInner>) {
                             // Nothing to send now, but the consumed head
                             // must still reach the client eventually; a
                             // zero-entry message carries it.
-                            let _ = flush_response(inner, qp, &[], 0, 0);
+                            let _ = flush_response(inner, qp, NO_RESPONSES, 0, 0);
                         }
                     }
                     Ok(None) => {}
@@ -440,14 +475,18 @@ fn dispatch_loop(inner: &Arc<ServerInner>) {
 }
 
 /// Encode and post one coalesced response message on `qp`.
-fn flush_response(
+///
+/// Generic over the payload type so handler outputs (`Vec<u8>`), manual
+/// responses (`&[u8]`), and head-only messages all encode without an
+/// intermediate copy into an owned buffer.
+fn flush_response<B: AsRef<[u8]>>(
     inner: &ServerInner,
     qp: &ServerQpCtx,
-    responses: &[(EntryMeta, Vec<u8>)],
+    responses: &[(EntryMeta, B)],
     extra_flags: u16,
     aux: u64,
 ) -> Result<()> {
-    let need = msg::encoded_size(responses.iter().map(|(_, d)| d.len()));
+    let need = msg::encoded_size(responses.iter().map(|(_, d)| d.as_ref().len()));
     let canary = qp.next_canary();
     let consumed_head = { qp.req_cons.lock().head() };
     let header = MsgHeader {
@@ -480,8 +519,11 @@ fn flush_response(
     };
 
     if let Some((woff, wlen)) = reservation.wrap {
-        let rec = RingProducer::wrap_record(wlen, canary);
-        qp.staging.write(woff, &rec)?;
+        // Write the wrap record directly into the staging ring; the old
+        // `wrap_record` helper allocated a scratch Vec per ring wrap.
+        qp.staging.with_write(|buf| {
+            RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], canary);
+        });
         qp.qp.post_send(
             SendWr::write(
                 WrId(0),
@@ -499,15 +541,16 @@ fn flush_response(
         )?;
     }
 
-    let entries: Vec<EntryRef<'_>> = responses
-        .iter()
-        .map(|(meta, data)| EntryRef { meta: *meta, data })
-        .collect();
+    // `encode_iter` walks the responses twice (size, then write) instead
+    // of materialising a `Vec<EntryRef>` per flush.
     qp.staging.with_write(|buf| {
-        msg::encode(
+        msg::encode_iter(
             &mut buf[reservation.offset..reservation.offset + need],
             &header,
-            &entries,
+            responses.iter().map(|(meta, data)| EntryRef {
+                meta: *meta,
+                data: data.as_ref(),
+            }),
         )
         .map(|_| ())
     })?;
@@ -581,7 +624,7 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
                     (0, FLAG_CREDIT_GRANT)
                 }
             };
-            let _ = flush_response(inner, qp, &[], flag, msg::pack_aux(granted, 0));
+            let _ = flush_response(inner, qp, NO_RESPONSES, flag, msg::pack_aux(granted, 0));
         }
 
         if last_redistribution.elapsed() >= inner.cfg.sched_interval {
@@ -606,7 +649,7 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
                     let _ = flush_response(
                         inner,
                         qp,
-                        &[],
+                        NO_RESPONSES,
                         FLAG_CREDIT_GRANT,
                         msg::pack_aux(credits, 0),
                     );

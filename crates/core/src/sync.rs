@@ -21,6 +21,15 @@
 //!   the spinner — that is what makes spin loops terminate during
 //!   bounded-exhaustive exploration.
 
+/// Thread-local allocation pool for the hot send path (DESIGN.md §5c).
+///
+/// Lives on the sync facade because its correctness argument is tied to
+/// the TCQ protocol the facade model-checks: it takes no locks and no
+/// atomics, so it behaves identically under `std` and `cfg(loom)` and
+/// adds no schedule points to bounded-exhaustive exploration.
+#[path = "pool.rs"]
+pub(crate) mod pool;
+
 #[cfg(loom)]
 pub use loom::{cell::UnsafeCell, hint, sync::atomic, sync::Arc, thread};
 
@@ -53,6 +62,37 @@ impl<T> UnsafeCell<T> {
     /// concurrent access for the duration of `f`.
     pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
         f(self.0.get())
+    }
+}
+
+/// Pads and aligns a value to a 64-byte cache line (destructive
+/// interference range on x86-64 and most aarch64 parts).
+///
+/// Used to keep hot atomics that different threads write (e.g. the TCQ
+/// `tail`) off the cache lines of fields that are merely read or updated
+/// by one thread (stats counters), eliminating false sharing.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` on its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
     }
 }
 

@@ -19,10 +19,12 @@
 //!
 //! [Mellor-Crummey & Scott]: https://doi.org/10.1145/103727.103729
 
+use std::alloc::Layout;
 use std::ptr;
+use std::ptr::NonNull;
 
 use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
-use crate::sync::{backoff, UnsafeCell};
+use crate::sync::{backoff, pool, CachePadded, UnsafeCell};
 
 /// Node states. `WAITING` → (`LEADER` | `SENT`).
 const WAITING: u8 = 0;
@@ -33,6 +35,13 @@ const SENT: u8 = 2;
 /// latency bounded, paper §4.2).
 pub const DEFAULT_BATCH_LIMIT: usize = 16;
 
+/// Aligned to a cache line so a follower spinning on its own node's
+/// `state` never shares that line with a neighboring node (DESIGN.md
+/// §5c): node memory comes from a pool that hands out tightly packed
+/// 64-byte-aligned blocks, so without the alignment two nodes could
+/// straddle one line and the leader's writes would steal it from an
+/// unrelated spinner.
+#[repr(align(64))]
 struct Node<T> {
     state: AtomicU8,
     next: AtomicPtr<Node<T>>,
@@ -98,16 +107,38 @@ impl<T> Batch<T> {
 
     /// Take ownership of the collected items (the batch keeps its queue
     /// bookkeeping so [`Tcq::complete`] still releases the followers).
+    ///
+    /// Taking the `Vec` removes its buffer from the recycling cycle (the
+    /// pool only retains buffers of exactly `batch_limit` capacity);
+    /// allocation-free callers should prefer [`Batch::drain_items`].
     pub fn take_items(&mut self) -> Vec<T> {
         std::mem::take(&mut self.items)
+    }
+
+    /// Drain the collected items in place (leader's own first, then
+    /// followers in queue order), leaving the buffer with the batch so
+    /// [`Tcq::complete`] can recycle it. This is the allocation-free
+    /// counterpart of [`Batch::take_items`].
+    pub fn drain_items(&mut self) -> std::vec::Drain<'_, T> {
+        self.items.drain(..)
     }
 }
 
 /// The thread combining queue for one shared QP.
+///
+/// Layout: `tail` sits alone on its own cache line ([`CachePadded`]).
+/// Every joining thread RMWs `tail`, while `batches`/`requests` are
+/// high-frequency `Relaxed` counters; without the padding each
+/// `fetch_add` on the stats would invalidate the line every spinning
+/// swapper needs (false sharing, DESIGN.md §5c).
 #[derive(Debug)]
 pub struct Tcq<T> {
-    tail: AtomicPtr<Node<T>>,
+    tail: CachePadded<AtomicPtr<Node<T>>>,
     batch_limit: usize,
+    /// Recycle nodes and batch scratch through the thread-local pool
+    /// (`sync::pool`). Defaults to on; the `alloc-per-node` feature or
+    /// [`Tcq::with_pooling`] restores the historical Box-per-join path.
+    pooled: bool,
     batches: AtomicU64,
     requests: AtomicU64,
 }
@@ -130,14 +161,75 @@ impl<T> Default for Tcq<T> {
 
 impl<T> Tcq<T> {
     /// Create a TCQ with the given per-batch request bound (`>= 1`).
+    ///
+    /// Node/scratch pooling is on unless the `alloc-per-node` escape
+    /// hatch feature is enabled.
     pub fn new(batch_limit: usize) -> Tcq<T> {
+        Self::with_pooling(batch_limit, !cfg!(feature = "alloc-per-node"))
+    }
+
+    /// Create a TCQ with explicit control over hot-path pooling.
+    ///
+    /// `pooled = false` restores the historical allocation behavior (one
+    /// `Box` per `join`, fresh batch `Vec`s per `collect`); it exists for
+    /// the `alloc-per-node` escape hatch and for apples-to-apples
+    /// benchmarking of the two paths.
+    pub fn with_pooling(batch_limit: usize, pooled: bool) -> Tcq<T> {
         assert!(batch_limit >= 1);
         Tcq {
-            tail: AtomicPtr::new(ptr::null_mut()),
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
             batch_limit,
+            pooled,
             batches: AtomicU64::new(0),
             requests: AtomicU64::new(0),
         }
+    }
+
+    /// Allocate and initialize a queue node, recycling a retired block
+    /// from this thread's pool when available.
+    fn alloc_node(&self, item: T) -> *mut Node<T> {
+        if !self.pooled {
+            return Box::into_raw(Node::new(item));
+        }
+        let node = pool::acquire_or_alloc(Layout::new::<Node<T>>())
+            .as_ptr()
+            .cast::<Node<T>>();
+        // SAFETY: `node` is a fresh, uninitialized, exclusively owned
+        // block of exactly `Layout::new::<Node<T>>()`; writing the
+        // initial value claims it before publication.
+        unsafe {
+            node.write(Node {
+                state: AtomicU8::new(WAITING),
+                next: AtomicPtr::new(ptr::null_mut()),
+                item: UnsafeCell::new(Some(item)),
+            });
+        }
+        node
+    }
+
+    /// Retire a node whose terminal transition has been observed (the
+    /// caller is its unique owner again): drop it in place and hand the
+    /// block to this thread's pool for the next `join`.
+    ///
+    /// # Safety
+    ///
+    /// `node` must have been produced by `alloc_node` on this `Tcq` and
+    /// must be exclusively owned by the calling thread (post-`SENT` for
+    /// followers, post-handoff for the leader's own node).
+    unsafe fn retire_node(&self, node: *mut Node<T>) {
+        if !self.pooled {
+            // SAFETY: caller guarantees unique ownership; the node was
+            // boxed by `alloc_node`.
+            unsafe { drop(Box::from_raw(node)) };
+            return;
+        }
+        // SAFETY: caller guarantees unique ownership; the value is
+        // initialized (written by `alloc_node`) and dropped exactly once.
+        unsafe { ptr::drop_in_place(node) };
+        pool::release(
+            NonNull::new(node.cast::<u8>()).expect("queue nodes are non-null"),
+            Layout::new::<Node<T>>(),
+        );
     }
 
     /// Number of batches formed so far.
@@ -165,7 +257,7 @@ impl<T> Tcq<T> {
     /// perform the send.
     pub fn join(&self, item: T) -> Outcome<T> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let node = Box::into_raw(Node::new(item));
+        let node = self.alloc_node(item);
         // Publish: single atomic swap makes us the queue tail.
         let prev = self.tail.swap(node, Ordering::AcqRel);
         if prev.is_null() {
@@ -189,8 +281,10 @@ impl<T> Tcq<T> {
                     // Our item was consumed by a leader that no longer
                     // holds any reference to this node.
                     // SAFETY: terminal state observed; we are the unique
-                    // owner again and the item slot is empty.
-                    unsafe { drop(Box::from_raw(node)) };
+                    // owner again and the item slot is empty. Retiring on
+                    // the allocating thread is what lets the pool skip
+                    // cross-thread synchronization (DESIGN.md §5c).
+                    unsafe { self.retire_node(node) };
                     return Outcome::Sent;
                 }
                 _ => {
@@ -205,15 +299,24 @@ impl<T> Tcq<T> {
     /// the unique leader.
     fn collect(&self, start: *mut Node<T>) -> Batch<T> {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        let mut nodes = vec![start];
-        // SAFETY: `start` is our own node; the item was deposited before
-        // publication and nobody else takes it.
-        let mut items = vec![
-            // SAFETY: `start` is our own node; no other thread accesses
-            // the slot between publication and leadership.
+        // Scratch buffers: recycled at `batch_limit` capacity through the
+        // thread-local pool, so a steady-state leader never allocates.
+        let (mut nodes, mut items) = if self.pooled {
+            (
+                pool::acquire_vec::<*mut Node<T>>(self.batch_limit),
+                pool::acquire_vec::<T>(self.batch_limit),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        nodes.push(start);
+        items.push(
+            // SAFETY: `start` is our own node; the item was deposited
+            // before publication and no other thread accesses the slot
+            // between publication and leadership.
             unsafe { (*start).item.with_mut(|slot| (*slot).take()) }
                 .expect("leader's own item present"),
-        ];
+        );
         let mut cur = start;
         while nodes.len() < self.batch_limit {
             // SAFETY: `cur` is a collected, not-yet-released node.
@@ -246,7 +349,13 @@ impl<T> Tcq<T> {
     /// thread (if any) and release all batch nodes.
     pub fn complete(&self, batch: Batch<T>) {
         let Batch { items, nodes } = batch;
-        drop(items);
+        if self.pooled {
+            // Recycle the scratch buffer (contents dropped) for the next
+            // `collect` on this thread.
+            pool::release_vec(items, self.batch_limit);
+        } else {
+            drop(items);
+        }
         let last = *nodes.last().expect("batch is never empty");
         // SAFETY: `last` is ours until released below.
         let mut next = unsafe { (*last).next.load(Ordering::Acquire) };
@@ -270,18 +379,25 @@ impl<T> Tcq<T> {
             // thread; setting LEADER transfers queue-head ownership to it.
             unsafe { (*next).state.store(LEADER, Ordering::Release) };
         }
-        // Release nodes. nodes[0] is our own: we free it directly (no other
-        // thread can reach it: its successor, if any, was either collected
-        // by us or is the handoff target reached via `last`, and the tail
-        // no longer points at it). Followers free themselves on seeing
-        // SENT; we must not touch them afterwards.
-        let mut iter = nodes.into_iter();
-        let own = iter.next().expect("own node");
-        // SAFETY: see comment above.
-        unsafe { drop(Box::from_raw(own)) };
-        for n in iter {
+        // Release nodes. nodes[0] is our own: we retire it directly (no
+        // other thread can reach it: its successor, if any, was either
+        // collected by us or is the handoff target reached via `last`, and
+        // the tail no longer points at it). Followers retire themselves on
+        // seeing SENT; we must not touch them afterwards. Note the order:
+        // the tail CAS above already happened, so recycling our own node
+        // now cannot alias a pointer any concurrent `complete`/`join` CAS
+        // still compares against (the no-ABA argument of DESIGN.md §5c).
+        let own = nodes[0];
+        // SAFETY: see comment above — we are the unique owner of our own
+        // node again.
+        unsafe { self.retire_node(own) };
+        for &n in &nodes[1..] {
             // SAFETY: follower nodes are live until we store SENT.
             unsafe { (*n).state.store(SENT, Ordering::Release) };
+        }
+        if self.pooled {
+            // Recycle the node-pointer scratch for the next `collect`.
+            pool::release_vec(nodes, self.batch_limit);
         }
     }
 }

@@ -247,7 +247,7 @@ fn manual_rpc_api() {
             while served < 10 {
                 if let Some(req) = fl_recv_rpc(&server, Duration::from_millis(100)) {
                     assert_eq!(req.rpc_id, 9);
-                    let mut out = req.data.clone();
+                    let mut out = req.data.to_vec();
                     out.reverse();
                     fl_send_res(&server, req.token, &out).unwrap();
                     served += 1;
@@ -354,7 +354,7 @@ fn compute_handler_and_thread_stats_flow() {
     let t = handle.register_thread();
     let payload = vec![1u8; 100];
     let resp = t.call(2, &payload).unwrap();
-    assert_eq!(u64::from_le_bytes(resp.try_into().unwrap()), 100);
+    assert_eq!(u64::from_le_bytes(resp[..].try_into().unwrap()), 100);
     // Let the thread scheduler run at least once on live stats.
     std::thread::sleep(Duration::from_millis(30));
     assert!(handle.active_qps() >= 1);

@@ -20,10 +20,12 @@
 //! * **Hand-off** — a leader completing with queued followers transfers
 //!   leadership; nobody spins forever (the model's deadlock detector
 //!   fails the test if the protocol can strand a thread).
-//! * **Reclamation** — every node is freed exactly once (the
-//!   `Box::from_raw` sites); a protocol double-free shows up as memory
-//!   corruption or a failed item assertion under the model, and the
-//!   Miri job covers the aliasing side (see DESIGN.md).
+//! * **Reclamation** — every node is retired exactly once (the
+//!   `retire_node` sites, which recycle into the thread-local pool); a
+//!   protocol double-free shows up as memory corruption or a failed
+//!   item assertion under the model, recycle-reuse ABA is covered by
+//!   `recycled_node_reuse_is_aba_safe`, and the Miri job covers the
+//!   aliasing side (see DESIGN.md §5c).
 //!
 //! The scenarios are deliberately tiny (2–3 threads, 1–3 items each):
 //! bounded-exhaustive checking is exponential in schedule points, and
@@ -130,6 +132,46 @@ fn drain_vs_concurrent_enqueue_two_followers() {
         }
         delivered.sort_unstable();
         assert_eq!(delivered, vec![0, 1, 2], "lost or duplicated item");
+        assert_eq!(tcq.requests(), 3);
+    });
+}
+
+/// Node recycling is ABA-safe: a follower whose node was freed back to
+/// the thread-local pool (on the `SENT` transition) immediately joins
+/// again, so its *second* `join` reuses the same node address while the
+/// original leader may still be anywhere inside `complete`. The
+/// dangerous shape would be `complete`'s tail CAS comparing against a
+/// pointer that was recycled into a *new* enqueue (classic ABA); the
+/// protocol prevents it because the CAS happens strictly before any
+/// `SENT` store, so no freed node can re-enter the queue while a CAS
+/// could still compare against it (DESIGN.md §5c). Every interleaving
+/// must deliver all three items exactly once.
+#[test]
+fn recycled_node_reuse_is_aba_safe() {
+    loom::model(|| {
+        let tcq: Arc<Tcq<u32>> = Arc::new(Tcq::new(16));
+        let batch = match tcq.join(0) {
+            Outcome::Lead(b) => b,
+            Outcome::Sent => unreachable!("queue was empty"),
+        };
+        let follower = {
+            let tcq = Arc::clone(&tcq);
+            thread::spawn(move || {
+                // First join: may be collected into the main thread's
+                // batch (freeing this thread's node into its pool) or
+                // handed leadership. Either way the second join runs
+                // immediately after and — when pooling is on — reuses
+                // the just-freed node address.
+                let mut items = join_and_drive(&tcq, 1);
+                items.extend(join_and_drive(&tcq, 2));
+                items
+            })
+        };
+        tcq.complete(batch);
+        let mut delivered = vec![0u32];
+        delivered.extend(follower.join().unwrap());
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![0, 1, 2], "ABA: lost or duplicated item");
         assert_eq!(tcq.requests(), 3);
     });
 }

@@ -75,12 +75,12 @@ fn main() {
                     let key = rng.below(KEYS) * 2;
                     if rng.chance(0.9) {
                         let v = th.call(RPC_GET, &key.to_le_bytes()).unwrap();
-                        let v = u64::from_le_bytes(v.try_into().unwrap());
+                        let v = u64::from_le_bytes(v[..].try_into().unwrap());
                         assert_eq!(v, key / 2, "index returned the wrong value");
                         gets += 1;
                     } else {
                         let n = th.call(RPC_SCAN, &key.to_le_bytes()).unwrap();
-                        found += u64::from_le_bytes(n.try_into().unwrap());
+                        found += u64::from_le_bytes(n[..].try_into().unwrap());
                         scans += 1;
                     }
                 }

@@ -78,7 +78,7 @@ fn main() {
                 for i in 0..100u64 {
                     let payload = vec![(c as u8) ^ (t as u8) ^ (i as u8); 64 + (i as usize % 64)];
                     let resp = th.call(RPC_CHECKSUM, &payload).unwrap();
-                    let got = u64::from_le_bytes(resp.try_into().unwrap());
+                    let got = u64::from_le_bytes(resp[..].try_into().unwrap());
                     assert_eq!(got, fnv1a(&payload), "checksum mismatch");
                 }
             }));

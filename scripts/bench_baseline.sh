@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Generate the perf baseline: hot-path microbenchmarks (TCQ pooled vs
+# boxed, ring wrap boundary) plus a fig6-style end-to-end sweep, written
+# to BENCH_micro.json (see EXPERIMENTS.md "Perf baseline").
+#
+# Usage:
+#   scripts/bench_baseline.sh            full windows (the checked-in baseline)
+#   scripts/bench_baseline.sh --quick    CI smoke (seconds, noisier numbers)
+#
+# Extra arguments are passed through, e.g. `--out /tmp/b.json`.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -p flock-bench --bin bench_baseline -- "$@"

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Run the TCQ tests under Miri, the rustc interpreter that checks for
-# undefined behavior (aliasing violations at the Box::from_raw reclamation
-# sites, data races under its weak-memory emulation, leaks).
+# undefined behavior (aliasing violations at the retire_node/pool
+# reclamation sites — drop_in_place + raw-block recycling — data races
+# under its weak-memory emulation, leaks).
 #
 # Miri needs a nightly toolchain with the `miri` component. Offline build
 # environments cannot install it, so this script *skips* (exit 0 with a
@@ -17,8 +18,9 @@ if ! cargo +nightly miri --version >/dev/null 2>&1; then
     exit 0
 fi
 
-# -Zmiri-strict-provenance: the TCQ's Box::into_raw/from_raw node
-#   pointers must stay provenance-clean (no int-to-ptr round trips).
+# -Zmiri-strict-provenance: the TCQ's raw node pointers (pooled blocks
+#   and the Box escape hatch) must stay provenance-clean (no int-to-ptr
+#   round trips).
 # -Zmiri-disable-isolation: the contention tests use the host clock
 #   (thread::sleep) to hold batches open.
 # Callers can override by exporting MIRIFLAGS themselves.

@@ -169,7 +169,7 @@ fn index_service_consistency_under_concurrency() {
                 payload.extend_from_slice(&(k * 3).to_le_bytes());
                 th.call(1, &payload).unwrap();
                 let got = th.call(2, &k.to_le_bytes()).unwrap();
-                assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), k * 3);
+                assert_eq!(u64::from_le_bytes(got[..].try_into().unwrap()), k * 3);
             }
         }));
     }
