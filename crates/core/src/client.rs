@@ -194,10 +194,32 @@ pub(crate) struct HandleInner {
     cfg: HandleConfig,
     qps: Vec<Arc<ClientQpCtx>>,
     threads: RwLock<Vec<Arc<ThreadCtx>>>,
+    /// Registered-thread count mirror of `threads.len()` (lock-free read
+    /// on the send hot path, see [`HandleInner::boarding_window`]).
+    thread_count: AtomicUsize,
     mem_regions: Vec<MemRegionInfo>,
     mem_mr: Arc<MemoryRegion>,
     mem_wr_seq: AtomicU64,
     stop: AtomicBool,
+}
+
+impl HandleInner {
+    /// TCQ boarding window (see [`crate::tcq::Tcq::join_with`]): a leader
+    /// yields once before collecting its batch so that concurrently
+    /// sending threads land in *this* batch. On real hardware the
+    /// combining window exists for free (doorbell + DMA latency); in the
+    /// simulator the flush is pure CPU work, so without this the window
+    /// is a few nanoseconds and coalescing would depend on preemption
+    /// luck. Gated off for single-threaded handles and when coalescing
+    /// is disabled, where the yield would be pure overhead.
+    fn boarding_window(&self) {
+        if self.cfg.coalescing
+            && self.cfg.batch_limit > 1
+            && self.thread_count.load(Ordering::Relaxed) > 1
+        {
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// A Flock connection to one remote node (`fl_connect`, paper Table 2).
@@ -293,6 +315,7 @@ impl ConnectionHandle {
             cfg: cfg.clone(),
             qps,
             threads: RwLock::new(Vec::new()),
+            thread_count: AtomicUsize::new(0),
             mem_regions: reply.memory_regions,
             mem_mr,
             mem_wr_seq: AtomicU64::new(1),
@@ -358,6 +381,9 @@ impl ConnectionHandle {
             mem_free: Mutex::new(0xFF),
         });
         threads.push(Arc::clone(&ctx));
+        self.inner
+            .thread_count
+            .store(threads.len(), Ordering::Relaxed);
         FlThread {
             ctx,
             inner: Arc::clone(&self.inner),
@@ -484,7 +510,10 @@ impl FlThread {
             seq,
             rpc_id,
         };
-        match qp.tcq.join(ClientReq::Rpc(meta, payload)) {
+        match qp
+            .tcq
+            .join_with(ClientReq::Rpc(meta, payload), || inner.boarding_window())
+        {
             Outcome::Lead(batch) => leader_flush(inner, qp, batch)?,
             Outcome::Sent => {}
         }
@@ -712,7 +741,10 @@ impl FlThread {
         );
         // Memory ops also coalesce through Flock synchronization (§6): the
         // leader links the batch's work requests into one doorbell.
-        match qp.tcq.join(ClientReq::Mem(wr)) {
+        match qp
+            .tcq
+            .join_with(ClientReq::Mem(wr), || self.inner.boarding_window())
+        {
             Outcome::Lead(batch) => leader_flush(&self.inner, qp, batch)?,
             Outcome::Sent => {}
         }
@@ -1070,13 +1102,19 @@ fn send_credit_request(qp: &ClientQpCtx) -> Result<()> {
 /// routes entries to threads by thread id, folds in piggybacked heads and
 /// credit grants, and routes one-sided completions.
 fn dispatcher_loop(inner: &HandleInner) {
+    // Send-CQ drain scratch: batched poll, one sync edge per sweep.
+    let mut drained: Vec<flock_fabric::Completion> = Vec::new();
+    let mut idler = flock_sync::AdaptiveBackoff::new(Duration::from_micros(100));
     while !inner.stop.load(Ordering::Relaxed) {
         let mut progressed = false;
         for qp in &inner.qps {
             // Send-CQ: one-sided completions and (rare) ring-write errors.
-            while let Some(c) = qp.qp.send_cq().poll_one() {
+            drained.clear();
+            if qp.qp.send_cq().poll(&mut drained, usize::MAX) > 0 {
                 progressed = true;
-                route_completion(inner, &c);
+                for c in &drained {
+                    route_completion(inner, c);
+                }
             }
             // Response ring.
             let polled = { qp.resp_cons.lock().poll(&qp.resp_mr) };
@@ -1118,8 +1156,10 @@ fn dispatcher_loop(inner: &HandleInner) {
                 }
             }
         }
-        if !progressed {
-            std::thread::yield_now();
+        if progressed {
+            idler.reset();
+        } else {
+            idler.idle();
         }
     }
     // Wake any waiting threads so they observe the stop flag.

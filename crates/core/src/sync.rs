@@ -1,25 +1,12 @@
 //! Synchronization facade: `std` primitives normally, `loom` under
 //! `cfg(loom)`.
 //!
-//! Every concurrent module in the workspace (`tcq`, `ring`, `credit`,
-//! `sched::qp` here; `lockshare` in `flock-baselines`) imports its
-//! atomics, threads, and unsafe cells from this module instead of `std`
-//! directly. A normal build resolves to the real `std` types with zero
-//! overhead. Building with `RUSTFLAGS="--cfg loom"` swaps in the `loom`
-//! model checker's instrumented equivalents, so the `loom_tcq` suite can
-//! exhaustively explore thread interleavings of the TCQ protocol (see
-//! DESIGN.md, "Memory ordering and verification", and `cargo loom`).
-//!
-//! Two deliberate API choices keep the two worlds identical:
-//!
-//! * [`UnsafeCell`] exposes only loom's closure-based `with`/`with_mut`
-//!   accessors (no bare `get`), so every raw access site reads the same
-//!   under both backends.
-//! * [`backoff`] is the one blessed way to spin-wait. Under `std` it
-//!   spins with a periodic OS yield; under loom every call is a
-//!   *voluntary* yield, which the model scheduler uses to deprioritize
-//!   the spinner — that is what makes spin loops terminate during
-//!   bounded-exhaustive exploration.
+//! The facade itself now lives in the `flock-sync` crate so layers below
+//! `flock-core` (notably the fabric's lock-free completion queue) can
+//! share it; this module re-exports it unchanged so existing
+//! `flock_core::sync::…` paths — including the loom suites — keep
+//! working. See `flock-sync`'s crate docs for the API contract
+//! (`UnsafeCell`'s closure accessors, `backoff`, `AdaptiveBackoff`).
 
 /// Thread-local allocation pool for the hot send path (DESIGN.md §5c).
 ///
@@ -30,91 +17,4 @@
 #[path = "pool.rs"]
 pub(crate) mod pool;
 
-#[cfg(loom)]
-pub use loom::{cell::UnsafeCell, hint, sync::atomic, sync::Arc, thread};
-
-#[cfg(not(loom))]
-pub use std::{hint, sync::atomic, sync::Arc, thread};
-
-/// `std` counterpart of loom's closure-based `UnsafeCell`.
-#[cfg(not(loom))]
-#[derive(Debug, Default)]
-pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
-
-#[cfg(not(loom))]
-impl<T> UnsafeCell<T> {
-    /// Create a cell.
-    pub const fn new(value: T) -> UnsafeCell<T> {
-        UnsafeCell(std::cell::UnsafeCell::new(value))
-    }
-
-    /// Immutable access to the contents via raw pointer.
-    ///
-    /// The pointer must not escape the closure; callers uphold the usual
-    /// `UnsafeCell` aliasing rules inside `f`.
-    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
-        f(self.0.get())
-    }
-
-    /// Mutable access to the contents via raw pointer.
-    ///
-    /// The pointer must not escape the closure; callers guarantee no
-    /// concurrent access for the duration of `f`.
-    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
-        f(self.0.get())
-    }
-}
-
-/// Pads and aligns a value to a 64-byte cache line (destructive
-/// interference range on x86-64 and most aarch64 parts).
-///
-/// Used to keep hot atomics that different threads write (e.g. the TCQ
-/// `tail`) off the cache lines of fields that are merely read or updated
-/// by one thread (stats counters), eliminating false sharing.
-#[derive(Debug, Default)]
-#[repr(align(64))]
-pub struct CachePadded<T>(pub T);
-
-impl<T> CachePadded<T> {
-    /// Wrap `value` on its own cache line.
-    pub const fn new(value: T) -> CachePadded<T> {
-        CachePadded(value)
-    }
-}
-
-impl<T> std::ops::Deref for CachePadded<T> {
-    type Target = T;
-
-    fn deref(&self) -> &T {
-        &self.0
-    }
-}
-
-impl<T> std::ops::DerefMut for CachePadded<T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
-    }
-}
-
-/// One iteration of a bounded spin-wait.
-///
-/// `spins` is the caller's iteration counter. Under `std` this emits a
-/// `spin_loop` hint and yields to the OS every 128 iterations; under
-/// loom it always yields to the model scheduler so exploration makes
-/// progress past the spin.
-#[inline]
-pub fn backoff(spins: u32) {
-    #[cfg(loom)]
-    {
-        let _ = spins;
-        thread::yield_now();
-    }
-    #[cfg(not(loom))]
-    {
-        if spins.is_multiple_of(128) {
-            thread::yield_now();
-        } else {
-            hint::spin_loop();
-        }
-    }
-}
+pub use flock_sync::*;

@@ -256,12 +256,28 @@ impl<T> Tcq<T> {
     /// taken into a batch. Returns [`Outcome::Lead`] if this thread must
     /// perform the send.
     pub fn join(&self, item: T) -> Outcome<T> {
+        self.join_with(item, || {})
+    }
+
+    /// [`Tcq::join`] with a *boarding window*: when the caller becomes the
+    /// leader, `boarding` runs after publication but before the batch is
+    /// collected, so requests submitted concurrently during the window
+    /// land in this batch instead of the next one. On real hardware the
+    /// window exists for free (doorbell + DMA latency); callers on fast
+    /// or single-CPU hosts can widen it deliberately (e.g. one
+    /// `yield_now`) so combining still emerges under contention.
+    ///
+    /// `boarding` is not invoked on the follower path, and delaying
+    /// collection is always safe: followers link themselves and spin
+    /// regardless of how long the leader takes to collect.
+    pub fn join_with(&self, item: T, boarding: impl FnOnce()) -> Outcome<T> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let node = self.alloc_node(item);
         // Publish: single atomic swap makes us the queue tail.
         let prev = self.tail.swap(node, Ordering::AcqRel);
         if prev.is_null() {
             // Queue was empty: we are the leader.
+            boarding();
             return Outcome::Lead(self.collect(node));
         }
         // SAFETY: `prev` was the tail; its owner cannot free it until it

@@ -29,6 +29,10 @@ pub struct FabricConfig {
     /// NIC connection-cache entries per node (overrides the cost model's
     /// value for the stats cache attached to each node).
     pub nic_cache_entries: usize,
+    /// Engine lanes per node. Work requests are sharded across lanes by
+    /// QPN, so per-QP FIFO ordering is preserved (all RC guarantees)
+    /// while unrelated QPs execute in parallel.
+    pub nic_lanes: usize,
 }
 
 impl Default for FabricConfig {
@@ -40,6 +44,7 @@ impl Default for FabricConfig {
             ud_drop_probability: 0.0,
             seed: 0x5EED,
             nic_cache_entries: entries,
+            nic_lanes: 1,
         }
     }
 }
@@ -74,7 +79,9 @@ pub struct Node {
     next_qpn: AtomicU32,
     cache: Mutex<ConnCache>,
     stats: NicStats,
-    engine_tx: Sender<NicCmd>,
+    /// One command channel per engine lane; QPs are pinned to a lane by
+    /// QPN at creation, preserving per-QP FIFO execution order.
+    engine_txs: Vec<Sender<NicCmd>>,
 }
 
 impl Node {
@@ -121,13 +128,17 @@ impl Node {
         recv_cq: &Arc<CompletionQueue>,
     ) -> Arc<Qp> {
         let qpn = QpNum(self.next_qpn.fetch_add(1, Ordering::Relaxed));
+        // Pin the QP to a lane by QPN: all its work requests execute on
+        // one engine thread, so per-QP FIFO ordering (all RC guarantees)
+        // is preserved while unrelated QPs run on other lanes.
+        let lane = qpn.0 as usize % self.engine_txs.len();
         let qp = Qp::new(
             self.id,
             qpn,
             transport,
             Arc::clone(send_cq),
             Arc::clone(recv_cq),
-            self.engine_tx.clone(),
+            self.engine_txs[lane].clone(),
         );
         self.qps.write().insert(qpn, Arc::clone(&qp));
         qp
@@ -189,10 +200,12 @@ impl Fabric {
         &self.inner.config
     }
 
-    /// Attach a new node and start its NIC engine thread.
+    /// Attach a new node and start its NIC engine lanes
+    /// (`config.nic_lanes` threads; at least one).
     pub fn add_node(&self, name: &str) -> Arc<Node> {
         let id = NodeId(self.inner.next_node.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
+        let lanes = self.inner.config.nic_lanes.max(1);
+        let channels: Vec<_> = (0..lanes).map(|_| unbounded()).collect();
         let node = Arc::new(Node {
             id,
             name: name.to_string(),
@@ -201,16 +214,18 @@ impl Fabric {
             next_qpn: AtomicU32::new(1),
             cache: Mutex::new(ConnCache::new(self.inner.config.nic_cache_entries)),
             stats: NicStats::default(),
-            engine_tx: tx.clone(),
+            engine_txs: channels.iter().map(|(tx, _)| tx.clone()).collect(),
         });
         self.inner.nodes.write().insert(id, Arc::clone(&node));
-        let inner = Arc::clone(&self.inner);
-        let node2 = Arc::clone(&node);
-        let handle = std::thread::Builder::new()
-            .name(format!("nic-{}", name))
-            .spawn(move || engine_loop(inner, node2, rx))
-            .expect("spawn NIC engine thread");
-        self.engines.lock().push((tx, handle));
+        for (lane, (tx, rx)) in channels.into_iter().enumerate() {
+            let inner = Arc::clone(&self.inner);
+            let node2 = Arc::clone(&node);
+            let handle = std::thread::Builder::new()
+                .name(format!("nic-{name}/{lane}"))
+                .spawn(move || engine_loop(inner, node2, rx, lane))
+                .expect("spawn NIC engine thread");
+            self.engines.lock().push((tx, handle));
+        }
         node
     }
 

@@ -157,6 +157,55 @@ impl MemoryRegion {
         f(&mut self.buf.write())
     }
 
+    /// DMA `len` bytes from this region at `src_off` into `dst` at
+    /// `dst_off` — the engine's zero-copy data path: one guarded
+    /// `memcpy` between the two buffers, with no intermediate `Vec`
+    /// materialized per verb.
+    ///
+    /// When the regions are distinct, the two buffer guards are taken in
+    /// a consistent global order keyed by object identity (pointer
+    /// address), *not* by the synthetic virtual base: bases collide
+    /// across nodes because every `MrTable` hands them out from the same
+    /// origin. That ordering makes concurrent opposite-direction copies
+    /// (lane A copies X→Y while lane B copies Y→X) deadlock-free.
+    /// A same-region copy takes one write guard and uses `copy_within`
+    /// (overlap-safe).
+    pub fn dma_to(
+        &self,
+        src_off: usize,
+        dst: &MemoryRegion,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if src_off + len > self.len {
+            return Err(FabricError::AccessViolation {
+                addr: self.base + src_off as u64,
+                len,
+            });
+        }
+        if dst_off + len > dst.len {
+            return Err(FabricError::AccessViolation {
+                addr: dst.base + dst_off as u64,
+                len,
+            });
+        }
+        if std::ptr::eq(self, dst) {
+            self.buf.write().copy_within(src_off..src_off + len, dst_off);
+            return Ok(());
+        }
+        let src_first = (self as *const MemoryRegion as usize) < (dst as *const MemoryRegion as usize);
+        if src_first {
+            let src = self.buf.read();
+            let mut d = dst.buf.write();
+            d[dst_off..dst_off + len].copy_from_slice(&src[src_off..src_off + len]);
+        } else {
+            let mut d = dst.buf.write();
+            let src = self.buf.read();
+            d[dst_off..dst_off + len].copy_from_slice(&src[src_off..src_off + len]);
+        }
+        Ok(())
+    }
+
     /// Atomically fetch the 8-byte value at `offset` and add `delta`.
     /// Returns the prior value. `offset` must be 8-byte aligned.
     pub fn fetch_add_u64(&self, offset: usize, delta: u64) -> Result<u64> {
@@ -389,6 +438,45 @@ mod tests {
             Err(FabricError::Misaligned(_))
         ));
         assert!(mr.fetch_add_u64(60, 1).is_err()); // out of bounds
+    }
+
+    #[test]
+    fn dma_to_copies_between_regions() {
+        let t = MrTable::new();
+        let a = t.register(64, Access::REMOTE_ALL);
+        let b = t.register(64, Access::REMOTE_ALL);
+        a.write(3, b"payload").unwrap();
+        a.dma_to(3, &b, 40, 7).unwrap();
+        assert_eq!(b.read_vec(40, 7).unwrap(), b"payload");
+        // Bounds violations on either side fail cleanly.
+        assert!(a.dma_to(60, &b, 0, 8).is_err());
+        assert!(a.dma_to(0, &b, 60, 8).is_err());
+    }
+
+    #[test]
+    fn dma_to_same_region_handles_overlap() {
+        let t = MrTable::new();
+        let a = t.register(32, Access::LOCAL);
+        a.write(0, b"abcdefgh").unwrap();
+        a.dma_to(0, &a, 4, 8).unwrap();
+        assert_eq!(a.read_vec(4, 8).unwrap(), b"abcdefgh");
+    }
+
+    #[test]
+    fn dma_to_opposite_directions_do_not_deadlock() {
+        let t = MrTable::new();
+        let a = t.register(1 << 12, Access::REMOTE_ALL);
+        let b = t.register(1 << 12, Access::REMOTE_ALL);
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let fwd = std::thread::spawn(move || {
+            for _ in 0..2000 {
+                a2.dma_to(0, &b2, 0, 1 << 12).unwrap();
+            }
+        });
+        for _ in 0..2000 {
+            b.dma_to(0, &a, 0, 1 << 12).unwrap();
+        }
+        fwd.join().unwrap();
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! The NIC engine: one background thread per node that executes posted
-//! work requests against the in-process fabric.
+//! The NIC engine: background threads ("lanes") per node that execute
+//! posted work requests against the in-process fabric.
+//!
+//! Each node runs `FabricConfig::nic_lanes` engine lanes; a QP is pinned
+//! to one lane by QPN at creation, so work requests of one QP execute in
+//! FIFO order (all RC guarantees) while unrelated QPs proceed in
+//! parallel — the same sharding real NICs apply across their processing
+//! units.
 //!
 //! The engine performs real memory movement (so two-sided and one-sided
-//! semantics are exercised end to end), records connection-cache accesses
-//! on both endpoints, and DMAs completions to the relevant CQs. Errors
-//! surface as error-status completions and transition the QP to the error
-//! state, mirroring verbs behaviour.
+//! semantics are exercised end to end) — zero-copy, via
+//! [`MemoryRegion::dma_to`], one guarded `memcpy` from source MR to
+//! destination MR with no per-verb scratch buffer — records
+//! connection-cache accesses on both endpoints, and DMAs completions to
+//! the relevant CQs. Errors surface as error-status completions and
+//! transition the QP to the error state, mirroring verbs behaviour.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -64,9 +72,18 @@ impl NicStats {
     }
 }
 
-/// Engine main loop; runs on a dedicated thread owned by the fabric.
-pub(crate) fn engine_loop(fabric: Arc<FabricInner>, node: Arc<Node>, rx: Receiver<NicCmd>) {
-    let mut rng = SmallRng::seed_from_u64(fabric.config.seed ^ (node.id().0 as u64) << 17);
+/// Engine lane main loop; runs on a dedicated thread owned by the
+/// fabric. `lane` only perturbs the loss-injection RNG so lanes draw
+/// independent streams.
+pub(crate) fn engine_loop(
+    fabric: Arc<FabricInner>,
+    node: Arc<Node>,
+    rx: Receiver<NicCmd>,
+    lane: usize,
+) {
+    let mut rng = SmallRng::seed_from_u64(
+        fabric.config.seed ^ (node.id().0 as u64) << 17 ^ (lane as u64) << 40,
+    );
     while let Ok(cmd) = rx.recv() {
         match cmd {
             NicCmd::Post { src_qpn, wr } => process(&fabric, &node, src_qpn, wr, &mut rng),
@@ -165,31 +182,31 @@ fn execute(
 
     match wr.op {
         SendOp::Send { local } => {
-            let payload = read_local(node, local)?;
+            let (src_mr, src_off) = resolve_local(node, local)?;
             let is_ud = !qp.transport().connected();
             if is_ud
                 && fabric.config.ud_drop_probability > 0.0
                 && rng.gen::<f64>() < fabric.config.ud_drop_probability
             {
                 node.stats().bump(&node.stats().ud_drops);
-                return Ok(payload.len()); // silently lost on the wire
+                return Ok(local.len); // silently lost on the wire
             }
             let Some(recv) = dst_qp.pop_recv() else {
                 if is_ud {
                     // UD: no buffer means the datagram is dropped, sender
                     // still completes successfully.
                     node.stats().bump(&node.stats().ud_drops);
-                    return Ok(payload.len());
+                    return Ok(local.len);
                 }
                 return Err(FabricError::NoReceiveBuffer);
             };
             let grh = if is_ud { GRH_BYTES } else { 0 };
-            let need = payload.len() + grh;
+            let need = local.len + grh;
             if recv.local.len < need {
                 deliver_recv_error(&dst_node, &dst_qp, &recv);
                 if is_ud {
                     node.stats().bump(&node.stats().ud_drops);
-                    return Ok(payload.len());
+                    return Ok(local.len);
                 }
                 return Err(FabricError::ReceiveBufferTooSmall {
                     have: recv.local.len,
@@ -202,7 +219,7 @@ fn execute(
                 // Zero a synthetic GRH; real NICs deposit routing headers.
                 dst_mr.write(off, &[0u8; GRH_BYTES])?;
             }
-            dst_mr.write(off + grh, &payload)?;
+            src_mr.dma_to(src_off, &dst_mr, off + grh, local.len)?;
             dst_qp.recv_cq().push(Completion {
                 wr_id: recv.wr_id,
                 status: CqStatus::Success,
@@ -217,46 +234,46 @@ fn execute(
                 qpn: dst_qpn,
             });
             node.stats().bump(&node.stats().sends);
-            Ok(payload.len())
+            Ok(local.len)
         }
         SendOp::Write { local, remote } => {
-            let payload = read_local(node, local)?;
+            let (src_mr, src_off) = resolve_local(node, local)?;
             let dst_mr = dst_node
                 .mrs()
                 .lookup_rkey(remote.rkey, Access::REMOTE_WRITE)?;
-            let off = dst_mr.translate(remote.addr, payload.len())?;
-            dst_mr.write(off, &payload)?;
+            let off = dst_mr.translate(remote.addr, local.len)?;
+            src_mr.dma_to(src_off, &dst_mr, off, local.len)?;
             node.stats().bump(&node.stats().writes);
-            Ok(payload.len())
+            Ok(local.len)
         }
         SendOp::WriteImm { local, remote, imm } => {
-            let payload = read_local(node, local)?;
+            let (src_mr, src_off) = resolve_local(node, local)?;
             let dst_mr = dst_node
                 .mrs()
                 .lookup_rkey(remote.rkey, Access::REMOTE_WRITE)?;
-            let off = dst_mr.translate(remote.addr, payload.len())?;
-            dst_mr.write(off, &payload)?;
+            let off = dst_mr.translate(remote.addr, local.len)?;
+            src_mr.dma_to(src_off, &dst_mr, off, local.len)?;
             // Consume one posted receive to deliver the immediate.
             let recv = dst_qp.pop_recv().ok_or(FabricError::NoReceiveBuffer)?;
             dst_qp.recv_cq().push(Completion {
                 wr_id: recv.wr_id,
                 status: CqStatus::Success,
                 opcode: CqOpcode::RecvImm,
-                byte_len: payload.len(),
+                byte_len: local.len,
                 imm: Some(imm),
                 src: None,
                 qpn: dst_qpn,
             });
             node.stats().bump(&node.stats().writes);
-            Ok(payload.len())
+            Ok(local.len)
         }
         SendOp::Read { local, remote } => {
-            let dst_mr = dst_node
+            let src_mr = dst_node
                 .mrs()
                 .lookup_rkey(remote.rkey, Access::REMOTE_READ)?;
-            let off = dst_mr.translate(remote.addr, local.len)?;
-            let data = dst_mr.read_vec(off, local.len)?;
-            write_local(node, local, &data)?;
+            let src_off = src_mr.translate(remote.addr, local.len)?;
+            let (loc_mr, loc_off) = resolve_local(node, local)?;
+            src_mr.dma_to(src_off, &loc_mr, loc_off, local.len)?;
             node.stats().bump(&node.stats().reads);
             Ok(local.len)
         }
@@ -301,10 +318,12 @@ fn deliver_recv_error(dst_node: &Node, dst_qp: &crate::qp::Qp, recv: &RecvWr) {
     });
 }
 
-fn read_local(node: &Node, sge: Sge) -> Result<Vec<u8>> {
+/// Resolve a local SGE to its region and buffer offset (bounds-checked),
+/// without copying anything.
+fn resolve_local(node: &Node, sge: Sge) -> Result<(std::sync::Arc<crate::mr::MemoryRegion>, usize)> {
     let mr = node.mrs().lookup_lkey(sge.lkey)?;
     let off = mr.translate(sge.addr, sge.len)?;
-    mr.read_vec(off, sge.len)
+    Ok((mr, off))
 }
 
 fn write_local(node: &Node, sge: Sge, data: &[u8]) -> Result<()> {

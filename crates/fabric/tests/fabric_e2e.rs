@@ -639,3 +639,55 @@ fn deregistered_mr_rejects_remote_access() {
     let c = p.ccq.wait_one(TIMEOUT).unwrap();
     assert_eq!(c.status, flock_fabric::CqStatus::RemoteAccessError);
 }
+
+#[test]
+fn multi_lane_engine_preserves_per_qp_fifo() {
+    // 4 lanes, 8 QPs fanned in to one server node: writes on each QP
+    // must land in posting order (per-QP FIFO), regardless of which
+    // lane executes which QP.
+    let mut cfg = FabricConfig::default();
+    cfg.nic_lanes = 4;
+    let fabric = Fabric::new(cfg);
+    let server = fabric.add_node("server");
+    let scq = server.create_cq(1024);
+    let smr = server.register_mr(1 << 16, Access::REMOTE_ALL);
+    let mut clients = Vec::new();
+    for i in 0..8u64 {
+        let c = fabric.add_node(&format!("c{i}"));
+        let mr = c.register_mr(4096, Access::LOCAL);
+        let cq = c.create_cq(256);
+        let qp = c.create_qp(Transport::Rc, &cq, &cq);
+        let sqp = server.create_qp(Transport::Rc, &scq, &scq);
+        fabric.connect(&qp, &sqp).unwrap();
+        clients.push((c, mr, cq, qp));
+    }
+    // Each client posts 64 sequenced writes to its own slot; only the
+    // last is signaled, so completion implies all earlier writes (FIFO)
+    // have executed.
+    for (i, (_c, mr, _cq, qp)) in clients.iter().enumerate() {
+        for n in 0..64u64 {
+            mr.write_u64((n as usize % 16) * 8, (i as u64) << 32 | n).unwrap();
+            let mut wr = SendWr::write(
+                WrId(n),
+                Sge {
+                    lkey: mr.lkey(),
+                    addr: mr.addr() + (n % 16) * 8,
+                    len: 8,
+                },
+                RemoteAddr {
+                    rkey: smr.rkey(),
+                    addr: smr.addr() + (i as u64) * 8,
+                },
+            );
+            if n != 63 {
+                wr = wr.unsignaled();
+            }
+            qp.post_send(wr).unwrap();
+        }
+    }
+    for (i, (_c, _mr, cq, _qp)) in clients.iter().enumerate() {
+        assert!(cq.wait_one(TIMEOUT).unwrap().is_ok());
+        // FIFO: the final value in the server slot is the last write.
+        assert_eq!(smr.read_u64(i * 8).unwrap(), (i as u64) << 32 | 63);
+    }
+}

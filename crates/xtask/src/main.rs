@@ -17,6 +17,15 @@
 //! invalidate the allowlist. Run with `--fix` to append skeleton
 //! entries (justification `TODO`) for any missing sites; `TODO`
 //! justifications still fail the audit, so they must be filled in.
+//!
+//! # `cargo loom`
+//!
+//! Runs every loom model-checking suite in the workspace (there is one
+//! per crate with a lock-free protocol: `flock-core`'s TCQ and
+//! `flock-fabric`'s completion-queue ring) under `RUSTFLAGS="--cfg
+//! loom"`. A plain `cargo test --test <t>` can't span packages, so the
+//! suite list lives here. Extra arguments are forwarded to every test
+//! binary (e.g. `cargo loom handoff` to filter).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -46,11 +55,54 @@ fn main() -> ExitCode {
     };
     match cmd {
         "audit-orderings" => audit_orderings(rest.iter().any(|a| a == "--fix")),
+        "loom" => loom(rest),
         other => {
-            eprintln!("xtask: unknown task `{other}` (expected `audit-orderings`)");
+            eprintln!("xtask: unknown task `{other}` (expected `audit-orderings` or `loom`)");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Every loom suite in the workspace: (package, test target).
+const LOOM_SUITES: &[(&str, &str)] = &[
+    ("flock-core", "loom_tcq"),
+    ("flock-fabric", "loom_cq"),
+];
+
+/// Run all loom model-checking suites with `--cfg loom`, forwarding
+/// `extra` to each test binary. Respects an existing `RUSTFLAGS` (so
+/// `LOOM_MAX_PREEMPTIONS`-style knobs and extra cfgs compose).
+fn loom(extra: &[String]) -> ExitCode {
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.split_whitespace().any(|f| f == "--cfg=loom")
+        && !rustflags.contains("--cfg loom")
+    {
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str("--cfg loom");
+    }
+    for (pkg, target) in LOOM_SUITES {
+        eprintln!("loom: {pkg} --test {target}");
+        let status = std::process::Command::new(env!("CARGO"))
+            .current_dir(workspace_root())
+            .env("RUSTFLAGS", &rustflags)
+            .args(["test", "-p", pkg, "--test", target, "--release", "--"])
+            .args(extra)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("loom: {pkg} --test {target} FAILED ({s})");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("loom: failed to spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// One `Ordering::Variant` occurrence in the tree.

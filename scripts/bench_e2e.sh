@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Fan-in throughput benchmark: N client nodes against one server,
+# swept over (dispatch_threads, nic_lanes) configurations, written to
+# BENCH_e2e.json (see EXPERIMENTS.md "Receive-path scaling").
+#
+# Usage:
+#   scripts/bench_e2e.sh            full windows (the checked-in baseline)
+#   scripts/bench_e2e.sh --quick    CI smoke (sub-second windows, noisier)
+#
+# Extra arguments are passed through, e.g. `--clients 16 --out /tmp/e.json`.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -p flock-bench --bin bench_e2e -- "$@"

@@ -1,16 +1,19 @@
 #!/usr/bin/env sh
-# Model-check the TCQ protocol under the loom scheduler.
+# Model-check the workspace's lock-free protocols under the loom
+# scheduler: the TCQ (flock-core) and the completion-queue ring
+# (flock-fabric).
 #
-# Equivalent to `cargo loom` (alias in .cargo/config.toml). Knobs, all
-# optional, are passed through to the model checker:
+# Equivalent to `cargo loom` (alias in .cargo/config.toml, which drives
+# `cargo xtask loom` over every suite). Knobs, all optional, are passed
+# through to the model checker:
 #   LOOM_MAX_PREEMPTIONS  preemption bound per execution (default 2)
 #   LOOM_MAX_ITERATIONS   executions per test before giving up (default 500000)
 #   LOOM_MAX_DEPTH        schedule-point bound per execution (default 100000)
 #   LOOM_TRACE=1          print every scheduling decision (very verbose)
 #
-# Extra arguments go to the test binary, e.g. `scripts/loom.sh handoff`.
+# Extra arguments filter the tests in every suite, e.g.
+# `scripts/loom.sh handoff`.
 set -eu
 cd "$(dirname "$0")/.."
 
-export RUSTFLAGS="--cfg loom ${RUSTFLAGS:-}"
-exec cargo test -p flock-core --test loom_tcq --release -- "$@"
+exec cargo run --quiet --release -p xtask -- loom "$@"
