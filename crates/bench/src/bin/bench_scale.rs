@@ -1,0 +1,46 @@
+//! Virtual-time scaling sweep over the real receive path, emitting
+//! `BENCH_scale.json` (see EXPERIMENTS.md "Virtual-time scaling surface").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flock-bench --bin bench_scale -- \
+//!     [--quick] [--reqs N] [--window W] [--out PATH]
+//! ```
+//!
+//! Unlike `bench_e2e` (threaded, wall-clock, host-parallelism-bound),
+//! every point here runs inside the deterministic virtual-time lab:
+//! dispatchers, NIC lanes and client threads are independently scheduled
+//! virtual cores, so `dispatch_threads = 24, nic_lanes = 32` measures
+//! real parallelism even on a 1-CPU host, and two runs of the same
+//! configuration produce byte-identical output.
+
+use flock_bench::scale::{run_sweep, Workload};
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_scale.json");
+    let mut w = Workload::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--reqs" => w.reqs_per_thread = args.next().expect("--reqs N").parse().expect("N"),
+            "--window" => w.window = args.next().expect("--window W").parse().expect("W"),
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_scale [--quick] [--reqs N] [--window W] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        w.reqs_per_thread = w.reqs_per_thread.min(8);
+    }
+
+    let json = run_sweep(quick, w, true);
+    std::fs::write(&out, &json).expect("write bench JSON");
+    eprintln!("bench_scale: wrote {out}");
+    print!("{json}");
+}

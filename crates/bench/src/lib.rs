@@ -6,6 +6,8 @@
 //! `benches/micro.rs` holds Criterion microbenchmarks of the core data
 //! structures. See EXPERIMENTS.md for paper-vs-measured values.
 
+pub mod scale;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;

@@ -1,0 +1,23 @@
+//! Two runs of the same seeded virtual-time sweep must render
+//! byte-identical JSON — the property CI's bench-scale smoke job diffs
+//! for, and the foundation of `BENCH_scale.json` being reviewable: a
+//! diff in the checked-in file always means a code change, never
+//! scheduling noise.
+
+use flock_bench::scale::{run_sweep, Workload};
+
+#[test]
+fn quick_sweep_is_byte_identical_across_runs() {
+    let w = Workload {
+        reqs_per_thread: 4,
+        window: 2,
+        payload: 16,
+    };
+    let a = run_sweep(true, w, false);
+    let b = run_sweep(true, w, false);
+    assert_eq!(a, b, "virtual-time sweep must be deterministic");
+    assert!(
+        a.contains("\"schema\": \"flock-bench-scale/v1\""),
+        "rendered JSON must carry the schema tag CI greps for"
+    );
+}

@@ -7,14 +7,15 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use flock_fabric::{
-    Access, CqOpcode, MemoryRegion, Node, NodeId, RemoteAddr, SendWr, Sge, Transport, WrId,
+    Access, CostModel, CqOpcode, MemoryRegion, Node, NodeId, RemoteAddr, SendWr, Sge, Transport,
+    WrId,
 };
+use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::credit::{CreditState, MedianWindow};
@@ -200,6 +201,10 @@ pub(crate) struct HandleInner {
     mem_regions: Vec<MemRegionInfo>,
     mem_mr: Arc<MemoryRegion>,
     mem_wr_seq: AtomicU64,
+    /// Fabric cost model: charges virtual CPU time for host-side work
+    /// (doorbells, memcpys, polling) under a virtual-time executor;
+    /// charges are no-ops in threaded mode.
+    cost: CostModel,
     stop: AtomicBool,
 }
 
@@ -217,7 +222,10 @@ impl HandleInner {
             && self.cfg.batch_limit > 1
             && self.thread_count.load(Ordering::Relaxed) > 1
         {
-            std::thread::yield_now();
+            // Under a virtual executor the yield hands the core to peer
+            // client tasks at the same virtual instant — the combining
+            // window the doorbell+DMA latency provides on hardware.
+            clock::yield_now();
         }
     }
 }
@@ -230,8 +238,8 @@ impl HandleInner {
 /// through the returned [`FlThread`].
 pub struct ConnectionHandle {
     inner: Arc<HandleInner>,
-    dispatcher: Option<JoinHandle<()>>,
-    scheduler: Option<JoinHandle<()>>,
+    dispatcher: Option<TaskHandle>,
+    scheduler: Option<TaskHandle>,
 }
 
 /// A per-application-thread handle (cheap to clone is intentionally *not*
@@ -319,24 +327,17 @@ impl ConnectionHandle {
             mem_regions: reply.memory_regions,
             mem_mr,
             mem_wr_seq: AtomicU64::new(1),
+            cost: domain.fabric().config().cost.clone(),
             stop: AtomicBool::new(false),
         });
 
         let dispatcher = {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("fl-resp-dispatch".into())
-                .spawn(move || dispatcher_loop(&inner))
-                .expect("spawn dispatcher")
+            clock::spawn("fl-resp-dispatch", move || dispatcher_loop(&inner))
         };
         let scheduler = if cfg.auto_thread_sched {
             let inner = Arc::clone(&inner);
-            Some(
-                std::thread::Builder::new()
-                    .name("fl-thread-sched".into())
-                    .spawn(move || scheduler_loop(&inner))
-                    .expect("spawn scheduler"),
-            )
+            Some(clock::spawn("fl-thread-sched", move || scheduler_loop(&inner)))
         } else {
             None
         };
@@ -510,6 +511,8 @@ impl FlThread {
             seq,
             rpc_id,
         };
+        // TCQ enqueue: one uncontended atomic RMW of host CPU.
+        clock::charge(inner.cost.cpu_sync_ns);
         match qp
             .tcq
             .join_with(ClientReq::Rpc(meta, payload), || inner.boarding_window())
@@ -526,6 +529,24 @@ impl FlThread {
     /// response message; it keeps that message's buffer alive until
     /// dropped.
     pub fn recv_res(&self, seq: u64) -> Result<Bytes> {
+        if clock::is_virtual() {
+            // Poll in virtual time (condvars would park the lab's one
+            // runnable OS thread); the lock is dropped across each sleep.
+            let deadline = clock::deadline(self.inner.cfg.timeout);
+            loop {
+                if let Some(data) = self.ctx.inbox.lock().remove(&seq) {
+                    self.ctx.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    return Ok(data);
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if clock::expired(deadline) {
+                    return Err(FlockError::Timeout);
+                }
+                clock::sleep_ns(500);
+            }
+        }
         let deadline = Instant::now() + self.inner.cfg.timeout;
         let mut inbox = self.ctx.inbox.lock();
         loop {
@@ -702,7 +723,7 @@ impl FlThread {
     }
 
     fn acquire_scratch_blocking(&self, len: usize) -> Result<(u8, usize)> {
-        let deadline = Instant::now() + self.inner.cfg.timeout;
+        let deadline = clock::deadline(self.inner.cfg.timeout);
         loop {
             if let Some(got) = self.try_acquire_scratch(len) {
                 return Ok(got);
@@ -710,10 +731,10 @@ impl FlThread {
             if self.inner.stop.load(Ordering::Relaxed) {
                 return Err(FlockError::Disconnected);
             }
-            if Instant::now() > deadline {
+            if clock::expired(deadline) {
                 return Err(FlockError::Timeout);
             }
-            std::thread::yield_now();
+            clock::yield_now();
         }
     }
 
@@ -759,6 +780,23 @@ impl FlThread {
 
     /// Block until an in-flight one-sided op completes.
     pub fn wait_mem(&self, token: MemToken) -> Result<Vec<u8>> {
+        if clock::is_virtual() {
+            // Virtual-time poll; see `recv_res`.
+            let deadline = clock::deadline(self.inner.cfg.timeout);
+            loop {
+                if let Some(r) = self.ctx.mem_results.lock().remove(&token.wr_id) {
+                    return r.map_err(FlockError::RemoteOpFailed);
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if clock::expired(deadline) {
+                    // Abandon: free the scratch when the completion arrives.
+                    return Err(FlockError::Timeout);
+                }
+                clock::sleep_ns(500);
+            }
+        }
         let deadline = Instant::now() + self.inner.cfg.timeout;
         let mut results = self.ctx.mem_results.lock();
         loop {
@@ -926,6 +964,7 @@ fn flush_parts(
     // doorbell by the leader (paper §6).
     if !mem_wrs.is_empty() {
         qp.qp.post_send_many(mem_wrs)?;
+        clock::charge(inner.cost.cpu_doorbell_ns);
     }
     if rpcs.is_empty() {
         return Ok(());
@@ -947,7 +986,7 @@ fn flush_parts(
     };
 
     // Reserve ring space, refreshing the cached server head while full.
-    let deadline = Instant::now() + inner.cfg.timeout;
+    let deadline = clock::deadline(inner.cfg.timeout);
     let reservation = loop {
         let mut prod = qp.req_prod.lock();
         prod.update_head(qp.server_head.load(Ordering::Acquire));
@@ -958,10 +997,10 @@ fn flush_parts(
                 if inner.stop.load(Ordering::Relaxed) {
                     return Err(FlockError::Disconnected);
                 }
-                if Instant::now() > deadline {
+                if clock::expired(deadline) {
                     return Err(FlockError::Timeout);
                 }
-                std::thread::yield_now();
+                clock::yield_now();
             }
             Err(e) => return Err(e),
         }
@@ -1020,6 +1059,13 @@ fn flush_parts(
         wr = wr.unsignaled();
     }
     qp.qp.post_send(wr)?;
+    // Leader's host cost: encode each entry, stage the message, ring the
+    // doorbell — amortized over the whole batch (the coalescing win).
+    clock::charge(
+        inner.cost.cpu_doorbell_ns
+            + inner.cost.memcpy_time(need).as_nanos()
+            + inner.cost.cpu_codec_ns * degree as u64,
+    );
     qp.messages_sent.fetch_add(1, Ordering::Relaxed);
     qp.requests_sent.fetch_add(degree as u64, Ordering::Relaxed);
     Ok(())
@@ -1028,6 +1074,7 @@ fn flush_parts(
 /// Consume `n` credits, requesting renewal when at half (paper §5.1).
 fn wait_for_credits(inner: &HandleInner, qp: &ClientQpCtx, n: u32) -> Result<()> {
     let deadline = Instant::now() + inner.cfg.timeout;
+    let vdeadline = clock::deadline(inner.cfg.timeout);
     loop {
         let mut send_renewal = false;
         {
@@ -1052,6 +1099,16 @@ fn wait_for_credits(inner: &HandleInner, qp: &ClientQpCtx, n: u32) -> Result<()>
             if !send_renewal {
                 if inner.stop.load(Ordering::Relaxed) {
                     return Err(FlockError::Disconnected);
+                }
+                if clock::is_virtual() {
+                    // Virtual-time poll for the grant instead of a condvar
+                    // park (which would stall the serialized lab).
+                    drop(credits);
+                    if clock::expired(vdeadline) {
+                        return Err(FlockError::Timeout);
+                    }
+                    clock::sleep_ns(1_000);
+                    continue;
                 }
                 if qp
                     .credit_cond
@@ -1104,7 +1161,10 @@ fn send_credit_request(qp: &ClientQpCtx) -> Result<()> {
 fn dispatcher_loop(inner: &HandleInner) {
     // Send-CQ drain scratch: batched poll, one sync edge per sweep.
     let mut drained: Vec<flock_fabric::Completion> = Vec::new();
-    let mut idler = flock_sync::AdaptiveBackoff::new(Duration::from_micros(100));
+    // Polling core in the lab: see the matching cap in the server's
+    // dispatch_loop for why the virtual ladder stays tight.
+    let mut idler =
+        flock_sync::AdaptiveBackoff::new(Duration::from_micros(100)).with_virtual_cap(1_000);
     while !inner.stop.load(Ordering::Relaxed) {
         let mut progressed = false;
         for qp in &inner.qps {
@@ -1112,6 +1172,7 @@ fn dispatcher_loop(inner: &HandleInner) {
             drained.clear();
             if qp.qp.send_cq().poll(&mut drained, usize::MAX) > 0 {
                 progressed = true;
+                clock::charge(inner.cost.cpu_poll_cqe_ns * drained.len() as u64);
                 for c in &drained {
                     route_completion(inner, c);
                 }
@@ -1121,6 +1182,7 @@ fn dispatcher_loop(inner: &HandleInner) {
             match polled {
                 Ok(Some(m)) => {
                     progressed = true;
+                    clock::charge(inner.cost.cpu_ring_poll_ns);
                     let head_after = { qp.resp_cons.lock().head() };
                     qp.resp_head_shared.store(head_after, Ordering::Release);
                     let view = m.view();
@@ -1140,6 +1202,7 @@ fn dispatcher_loop(inner: &HandleInner) {
                     }
                     let threads = inner.threads.read();
                     for (meta, range) in view.entry_ranges() {
+                        clock::charge(inner.cost.cpu_codec_ns);
                         if let Some(t) = threads.get(meta.thread_id as usize) {
                             // Zero-copy: each response entry is a slice of
                             // the shared coalesced-message buffer; the one
@@ -1149,7 +1212,9 @@ fn dispatcher_loop(inner: &HandleInner) {
                         }
                     }
                 }
-                Ok(None) => {}
+                Ok(None) => {
+                    clock::charge(inner.cost.cpu_poll_empty_ns);
+                }
                 Err(_) => {
                     // Corrupt ring: fatal for this connection.
                     inner.stop.store(true, Ordering::SeqCst);
@@ -1158,6 +1223,9 @@ fn dispatcher_loop(inner: &HandleInner) {
         }
         if progressed {
             idler.reset();
+            // Apply accrued virtual CPU cost on busy sweeps, which never
+            // reach `idle()` (see the server dispatcher).
+            clock::flush_charge();
         } else {
             idler.idle();
         }
@@ -1209,7 +1277,7 @@ fn route_completion(inner: &HandleInner, c: &flock_fabric::Completion) {
 /// Sender-side thread scheduler loop (paper §5.2, Algorithm 1).
 fn scheduler_loop(inner: &HandleInner) {
     while !inner.stop.load(Ordering::Relaxed) {
-        std::thread::sleep(inner.cfg.sched_interval);
+        clock::sleep(inner.cfg.sched_interval);
         run_thread_scheduling(inner);
     }
 }

@@ -125,6 +125,21 @@ impl FlockDomain {
             ..req
         };
         tx.send(req).map_err(|_| FlockError::Disconnected)?;
+        if flock_sync::clock::is_virtual() {
+            // Poll in virtual time: a blocking recv would park the one OS
+            // thread holding the serialized lab's core.
+            loop {
+                match reply_rx.try_recv() {
+                    Ok(reply) => return reply,
+                    Err(crossbeam::channel::TryRecvError::Empty) => {
+                        flock_sync::clock::sleep_ns(1_000);
+                    }
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        return Err(FlockError::Disconnected);
+                    }
+                }
+            }
+        }
         reply_rx.recv().map_err(|_| FlockError::Disconnected)?
     }
 }

@@ -67,5 +67,5 @@ pub use bytes::Bytes;
 pub use client::{ConnectionHandle, FlThread, HandleConfig, HandleMetrics, MemToken, QpMetrics};
 pub use domain::{FlockDomain, MemRegionInfo, RingInfo};
 pub use error::{FlockError, Result};
-pub use server::{FlockServer, ServerConfig};
+pub use server::{auto_dispatch_threads, lpt_partition, FlockServer, ServerConfig};
 pub use tcq::Tcq;

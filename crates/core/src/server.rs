@@ -5,15 +5,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use flock_fabric::{
-    Access, CqOpcode, MemoryRegion, Node, NodeId, Qp, RecvWr, RemoteAddr, SendWr, Sge, Transport,
-    WrId,
+    Access, CostModel, CqOpcode, MemoryRegion, Node, NodeId, Qp, RecvWr, RemoteAddr, SendWr, Sge,
+    Transport, WrId,
 };
+use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Mutex, RwLock};
 
 use crate::domain::{ConnectReply, ConnectRequest, FlockDomain, MemRegionInfo, RingInfo};
@@ -39,8 +39,22 @@ pub struct ServerConfig {
     pub timeout: Duration,
     /// Dispatcher worker threads. Each owns a disjoint partition of
     /// connections (rebalanced when the QP scheduler redistributes active
-    /// QPs); `1` is the single-dispatcher degenerate case.
+    /// QPs); `1` is the single-dispatcher degenerate case. Defaults to
+    /// [`auto_dispatch_threads`].
     pub dispatch_threads: usize,
+}
+
+/// Default dispatcher worker count: the host's available parallelism,
+/// clamped to `1..=8`. Sharding the dispatch only wins when the workers
+/// can actually run in parallel; on a 1-CPU host extra workers just
+/// time-slice the same core through the idle ladder (the honest 0.78×
+/// of the pre-seam 4/4 BENCH_e2e point), so the degenerate 1-worker
+/// path is chosen automatically there.
+pub fn auto_dispatch_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 impl Default for ServerConfig {
@@ -52,7 +66,7 @@ impl Default for ServerConfig {
             imm_recv_depth: 64,
             signal_every: 64,
             timeout: Duration::from_secs(10),
-            dispatch_threads: 1,
+            dispatch_threads: auto_dispatch_threads(),
         }
     }
 }
@@ -90,6 +104,13 @@ struct ServerQpCtx {
     client_resp_head: AtomicU64,
     write_count: AtomicU64,
     canary_seq: AtomicU64,
+    /// Mirror of the QP scheduler's active bit (updated on
+    /// redistribution). Dispatchers poll deactivated QPs only every
+    /// [`INACTIVE_POLL_PERIOD`]th sweep: clients drain in-flight
+    /// requests on a deactivated QP but send new ones elsewhere, so at
+    /// high connection counts (QPs ≫ MAX_AQP) polling every ring every
+    /// sweep burns the dispatch budget on empty probes.
+    active: AtomicBool,
 }
 
 impl ServerQpCtx {
@@ -133,6 +154,10 @@ impl ServerStats {
 struct ServerInner {
     node: Arc<Node>,
     cfg: ServerConfig,
+    /// Fabric cost model, used to charge virtual CPU time for host-side
+    /// work (polling, codec, handlers, doorbells) when running under a
+    /// virtual-time executor. Charges are no-ops in threaded mode.
+    cost: CostModel,
     handlers: RwLock<HashMap<u32, Handler>>,
     conns: RwLock<Vec<Arc<ServerConn>>>,
     /// Connection → dispatcher-worker assignment, indexed by connection
@@ -158,7 +183,7 @@ struct ServerInner {
 pub struct FlockServer {
     inner: Arc<ServerInner>,
     name: String,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    threads: Mutex<Vec<TaskHandle>>,
 }
 
 impl FlockServer {
@@ -175,6 +200,7 @@ impl FlockServer {
         let inner = Arc::new(ServerInner {
             node: Arc::clone(node),
             cfg: cfg.clone(),
+            cost: domain.fabric().config().cost.clone(),
             handlers: RwLock::new(HashMap::new()),
             conns: RwLock::new(Vec::new()),
             dispatch_assign: RwLock::new(Vec::new()),
@@ -195,30 +221,22 @@ impl FlockServer {
         let mut threads = Vec::new();
         {
             let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("fl-accept-{name}"))
-                    .spawn(move || accept_loop(&inner, accept_rx))
-                    .expect("spawn accept thread"),
-            );
+            threads.push(clock::spawn(&format!("fl-accept-{name}"), move || {
+                accept_loop(&inner, accept_rx)
+            }));
         }
         for worker in 0..cfg.dispatch_threads.max(1) {
             let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("fl-dispatch-{name}/{worker}"))
-                    .spawn(move || dispatch_loop(&inner, worker))
-                    .expect("spawn dispatcher"),
-            );
+            threads.push(clock::spawn(
+                &format!("fl-dispatch-{name}/{worker}"),
+                move || dispatch_loop(&inner, worker),
+            ));
         }
         {
             let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("fl-qpsched-{name}"))
-                    .spawn(move || qp_sched_loop(&inner))
-                    .expect("spawn qp scheduler"),
-            );
+            threads.push(clock::spawn(&format!("fl-qpsched-{name}"), move || {
+                qp_sched_loop(&inner)
+            }));
         }
 
         FlockServer {
@@ -250,6 +268,23 @@ impl FlockServer {
 
     /// Pull a request with no registered handler (`fl_recv_rpc`).
     pub fn recv_rpc(&self, timeout: Duration) -> Option<IncomingRpc> {
+        if clock::is_virtual() {
+            // Poll in virtual time; a blocking `recv_timeout` would stall
+            // the whole serialized lab on this one OS thread.
+            let deadline = clock::deadline(timeout);
+            loop {
+                match self.inner.manual_rx.try_recv() {
+                    Ok(rpc) => return Some(rpc),
+                    Err(TryRecvError::Disconnected) => return None,
+                    Err(TryRecvError::Empty) => {
+                        if clock::expired(deadline) {
+                            return None;
+                        }
+                        clock::sleep_ns(1_000);
+                    }
+                }
+            }
+        }
         self.inner.manual_rx.recv_timeout(timeout).ok()
     }
 
@@ -292,9 +327,23 @@ impl FlockServer {
 /// Accept loop: performs the connection handshake (paper §3's
 /// `fl_connect` server side).
 fn accept_loop(inner: &Arc<ServerInner>, rx: Receiver<ConnectRequest>) {
+    let virt = clock::is_virtual();
     while !inner.stop.load(Ordering::Relaxed) {
-        let Ok(req) = rx.recv_timeout(Duration::from_millis(50)) else {
-            continue;
+        let req = if virt {
+            // Poll in virtual time instead of blocking the lab's core.
+            match rx.try_recv() {
+                Ok(req) => req,
+                Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => {
+                    clock::sleep_ns(5_000);
+                    continue;
+                }
+            }
+        } else {
+            let Ok(req) = rx.recv_timeout(Duration::from_millis(50)) else {
+                continue;
+            };
+            req
         };
         let reply = accept_one(inner, &req);
         let _ = req.reply.send(reply);
@@ -357,6 +406,7 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
             client_resp_head: AtomicU64::new(0),
             write_count: AtomicU64::new(0),
             canary_seq: AtomicU64::new(0),
+            active: AtomicBool::new(true),
         });
     }
 
@@ -411,6 +461,11 @@ const NO_RESPONSES: &[(EntryMeta, &[u8])] = &[];
 /// every connection — the seed's single-dispatcher behaviour. With more
 /// workers each owns a disjoint partition of connections, re-cut by the
 /// QP scheduler as active-QP weights shift (`rebalance_dispatch`).
+/// Sweep period on which dispatchers still probe *deactivated* QPs (see
+/// [`ServerQpCtx::active`]): bounded drain latency for in-flight requests
+/// without paying an empty ring probe per inactive QP per sweep.
+const INACTIVE_POLL_PERIOD: u64 = 16;
+
 fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
     // Generation-stamped partition snapshot: cloning the `Arc` vector on
     // every sweep made each idle poll O(conns) in refcount traffic; the
@@ -422,8 +477,16 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
     let mut responses: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
     // Send-CQ drain scratch: batched poll, one sync edge per sweep.
     let mut drained: Vec<flock_fabric::Completion> = Vec::new();
-    let mut idler = flock_sync::AdaptiveBackoff::new(Duration::from_micros(100));
+    // Dispatchers are dedicated polling cores (paper §4.3): the wall
+    // ladder may park up to 100 µs to spare a shared host, but in the
+    // lab a deep ladder would charge burst-detection latency that grows
+    // with dispatcher count (fewer conns each → deeper idle between
+    // bursts), inverting the sharding win. 1 µs models a polling core.
+    let mut idler =
+        flock_sync::AdaptiveBackoff::new(Duration::from_micros(100)).with_virtual_cap(1_000);
+    let mut sweep: u64 = 0;
     while !inner.stop.load(Ordering::Relaxed) {
+        sweep = sweep.wrapping_add(1);
         let gen = inner.topo_gen.load(Ordering::Acquire);
         if gen != conns_seen {
             // Lock order: `conns` before `dispatch_assign`, matching
@@ -448,10 +511,16 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                 first.qp.send_cq().poll(&mut drained, usize::MAX);
             }
             for (qp_idx, qp) in conn.qps.iter().enumerate() {
+                // Deactivated QPs drain at a reduced probe rate.
+                if !qp.active.load(Ordering::Relaxed) && !sweep.is_multiple_of(INACTIVE_POLL_PERIOD)
+                {
+                    continue;
+                }
                 let polled = { qp.req_cons.lock().poll(&qp.req_mr) };
                 match polled {
                     Ok(Some(m)) => {
                         progressed = true;
+                        clock::charge(inner.cost.cpu_ring_poll_ns);
                         let view = m.view();
                         qp.client_resp_head
                             .fetch_max(view.header.head, Ordering::AcqRel);
@@ -461,6 +530,7 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                         for (meta, range) in view.entry_ranges() {
                             inner.stats.requests.fetch_add(1, Ordering::Relaxed);
                             if let Some(h) = handlers.get(&meta.rpc_id) {
+                                clock::charge(inner.cost.cpu_codec_ns + inner.cost.app_handler_ns);
                                 // The handler's output Vec is the one
                                 // per-request allocation the server keeps:
                                 // the `Handler` signature owns its result.
@@ -475,6 +545,7 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                                     out,
                                 ));
                             } else {
+                                clock::charge(inner.cost.cpu_codec_ns);
                                 let _ = inner.manual_tx.send(IncomingRpc {
                                     rpc_id: meta.rpc_id,
                                     // Zero-copy slice of the shared
@@ -500,7 +571,9 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                             let _ = flush_response(inner, qp, NO_RESPONSES, 0, 0);
                         }
                     }
-                    Ok(None) => {}
+                    Ok(None) => {
+                        clock::charge(inner.cost.cpu_poll_empty_ns);
+                    }
                     Err(_) => {
                         // Corrupt request ring: drop the message stream.
                         progressed = true;
@@ -510,6 +583,10 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
         }
         if progressed {
             idler.reset();
+            // Busy sweeps never reach `idle()`, so apply the accrued
+            // virtual CPU cost here — otherwise a saturated dispatcher
+            // would freeze virtual time for every other task.
+            clock::flush_charge();
         } else {
             idler.idle();
         }
@@ -540,7 +617,7 @@ fn flush_response<B: AsRef<[u8]>>(
         aux,
     };
 
-    let deadline = Instant::now() + inner.cfg.timeout;
+    let deadline = clock::deadline(inner.cfg.timeout);
     let reservation = loop {
         let mut prod = qp.resp_prod.lock();
         prod.update_head(qp.client_resp_head.load(Ordering::Acquire));
@@ -551,10 +628,10 @@ fn flush_response<B: AsRef<[u8]>>(
                 if inner.stop.load(Ordering::Relaxed) {
                     return Err(FlockError::Disconnected);
                 }
-                if Instant::now() > deadline {
+                if clock::expired(deadline) {
                     return Err(FlockError::Timeout);
                 }
-                std::thread::yield_now();
+                clock::yield_now();
             }
             Err(e) => return Err(e),
         }
@@ -614,6 +691,8 @@ fn flush_response<B: AsRef<[u8]>>(
         wr = wr.unsignaled();
     }
     qp.qp.post_send(wr)?;
+    // Host cost of staging the message and ringing the doorbell.
+    clock::charge(inner.cost.cpu_doorbell_ns + inner.cost.memcpy_time(need).as_nanos());
     Ok(())
 }
 
@@ -621,7 +700,8 @@ fn flush_response<B: AsRef<[u8]>>(
 /// immediates, grants or declines, and periodically redistributes active
 /// QPs (paper §5.1, §7) — re-cutting the dispatcher partition to match.
 fn qp_sched_loop(inner: &Arc<ServerInner>) {
-    let mut last_redistribution = Instant::now();
+    let sched_interval_ns = inner.cfg.sched_interval.as_nanos().min(u64::MAX as u128) as u64;
+    let mut last_redistribution = clock::now_ns();
     // Batched immediate sweep: one sync edge per sweep instead of one
     // `poll_one` per credit request.
     let mut imms: Vec<flock_fabric::Completion> = Vec::new();
@@ -636,6 +716,7 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
         inner.imm_cq.poll(&mut imms, 1024);
         for c in imms.drain(..) {
             progressed = true;
+            clock::charge(inner.cost.cpu_poll_cqe_ns);
             if c.opcode != CqOpcode::RecvImm {
                 continue;
             }
@@ -650,6 +731,7 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
             };
             let qp = &conn.qps[qp_idx];
             // Re-post the consumed receive slot.
+            clock::charge(inner.cost.cpu_post_recv_ns);
             let _ = qp.qp.post_recv(RecvWr {
                 wr_id: WrId(0),
                 local: Sge {
@@ -679,8 +761,8 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
             let _ = flush_response(inner, qp, NO_RESPONSES, flag, msg::pack_aux(granted, 0));
         }
 
-        if last_redistribution.elapsed() >= inner.cfg.sched_interval {
-            last_redistribution = Instant::now();
+        if clock::now_ns().saturating_sub(last_redistribution) >= sched_interval_ns {
+            last_redistribution = clock::now_ns();
             let changes = inner.qp_sched.lock().redistribute();
             if !changes.is_empty() {
                 let conns = inner.conns.read();
@@ -691,6 +773,9 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
                     let Some(qp) = conn.qps.get(sq.qp) else {
                         continue;
                     };
+                    // Mirror the scheduler's decision for the dispatchers'
+                    // inactive-QP poll throttle.
+                    qp.active.store(now_active, Ordering::Relaxed);
                     // Proactively notify the client: reactivation carries a
                     // fresh grant, deactivation a zero grant.
                     let credits = if now_active {
@@ -714,6 +799,7 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
         }
         if progressed {
             idler.reset();
+            clock::flush_charge();
         } else {
             idler.idle();
         }
@@ -734,27 +820,18 @@ fn rebalance_dispatch(inner: &ServerInner) {
     // Weight = active QPs, floored at 1 so idle connections keep an
     // owner (lock order: `conns` before `qp_sched`, as everywhere).
     let sched = inner.qp_sched.lock();
-    let mut weights: Vec<(usize, usize)> = conns
+    let weights: Vec<usize> = conns
         .iter()
-        .enumerate()
-        .map(|(idx, c)| {
-            let w = sched
+        .map(|c| {
+            sched
                 .active_map(c.sender_id)
                 .map(|m| m.iter().filter(|a| **a).count())
                 .unwrap_or(0)
-                .max(1);
-            (idx, w)
+                .max(1)
         })
         .collect();
     drop(sched);
-    weights.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let mut load = vec![0usize; workers];
-    let mut new_assign = vec![0usize; conns.len()];
-    for (idx, w) in weights {
-        let target = (0..workers).min_by_key(|&t| load[t]).unwrap_or(0);
-        load[target] += w;
-        new_assign[idx] = target;
-    }
+    let new_assign = lpt_partition(&weights, workers);
     let mut assign = inner.dispatch_assign.write();
     if *assign != new_assign {
         *assign = new_assign;
@@ -763,4 +840,27 @@ fn rebalance_dispatch(inner: &ServerInner) {
         // assignment sees a consistent partition.
         inner.topo_gen.fetch_add(1, Ordering::Release);
     }
+}
+
+/// Greedy LPT binning: place each item, heaviest first (ties broken by
+/// lower index), on the currently least-loaded worker. Returns the
+/// item → worker assignment. `workers` is clamped to at least 1, so the
+/// result is total even when callers ask for zero workers or have more
+/// workers than items.
+///
+/// Classic LPT bound: the max worker load is within `max(weights)` of
+/// the min worker load, because the last item placed on the heaviest
+/// worker went there when it was the lightest.
+pub fn lpt_partition(weights: &[usize], workers: usize) -> Vec<usize> {
+    let workers = workers.max(1);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    let mut load = vec![0usize; workers];
+    let mut assign = vec![0usize; weights.len()];
+    for idx in order {
+        let target = (0..workers).min_by_key(|&t| load[t]).unwrap_or(0);
+        load[target] += weights[idx];
+        assign[idx] = target;
+    }
+    assign
 }

@@ -276,16 +276,23 @@ impl CompletionQueue {
     ///
     /// The seed used a condition variable; completions now arrive
     /// lock-free, so this spins with the shared [`backoff`] ladder
-    /// (spin-hint with periodic OS yields) until the deadline.
+    /// (spin-hint with periodic OS yields) until the deadline. Under a
+    /// virtual-time executor the deadline is virtual and each empty
+    /// round is a short virtual sleep instead of a spin.
     pub fn wait_one(&self, timeout: Duration) -> Option<Completion> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = flock_sync::clock::deadline(timeout);
+        let virtual_time = flock_sync::clock::is_virtual();
         let mut spins = 0u32;
         loop {
             if let Some(c) = self.poll_one() {
                 return Some(c);
             }
-            if std::time::Instant::now() >= deadline {
+            if flock_sync::clock::expired(deadline) {
                 return self.poll_one();
+            }
+            if virtual_time {
+                flock_sync::clock::sleep_ns(500);
+                continue;
             }
             backoff(spins);
             spins = spins.wrapping_add(1);

@@ -3,9 +3,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
+use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cache::ConnCache;
@@ -31,8 +31,21 @@ pub struct FabricConfig {
     pub nic_cache_entries: usize,
     /// Engine lanes per node. Work requests are sharded across lanes by
     /// QPN, so per-QP FIFO ordering is preserved (all RC guarantees)
-    /// while unrelated QPs execute in parallel.
+    /// while unrelated QPs execute in parallel. Defaults to
+    /// [`auto_nic_lanes`]; override for benchmarks sweeping the lane
+    /// count.
     pub nic_lanes: usize,
+}
+
+/// Default NIC lane count: the host's available parallelism, clamped to
+/// `1..=4`. Extra lanes only add channel hops and cache traffic when
+/// there are no spare cores to run them — on a 1-CPU host this picks the
+/// single-lane path automatically.
+pub fn auto_nic_lanes() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
 }
 
 impl Default for FabricConfig {
@@ -44,7 +57,7 @@ impl Default for FabricConfig {
             ud_drop_probability: 0.0,
             seed: 0x5EED,
             nic_cache_entries: entries,
-            nic_lanes: 1,
+            nic_lanes: auto_nic_lanes(),
         }
     }
 }
@@ -174,7 +187,7 @@ impl Node {
 #[derive(Debug)]
 pub struct Fabric {
     inner: Arc<FabricInner>,
-    engines: Mutex<Vec<(Sender<NicCmd>, JoinHandle<()>)>>,
+    engines: Mutex<Vec<(Sender<NicCmd>, TaskHandle)>>,
 }
 
 impl Fabric {
@@ -220,10 +233,11 @@ impl Fabric {
         for (lane, (tx, rx)) in channels.into_iter().enumerate() {
             let inner = Arc::clone(&self.inner);
             let node2 = Arc::clone(&node);
-            let handle = std::thread::Builder::new()
-                .name(format!("nic-{name}/{lane}"))
-                .spawn(move || engine_loop(inner, node2, rx, lane))
-                .expect("spawn NIC engine thread");
+            // Through the clock seam: a real thread normally, a
+            // virtual core under `flock_sim::VirtualLab`.
+            let handle = clock::spawn(&format!("nic-{name}/{lane}"), move || {
+                engine_loop(inner, node2, rx, lane)
+            });
             self.engines.lock().push((tx, handle));
         }
         node

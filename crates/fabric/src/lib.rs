@@ -79,7 +79,7 @@ pub mod verbs;
 
 pub use cache::{qp_state_key, ConnCache, Eviction};
 pub use cq::CompletionQueue;
-pub use fabric::{connect_qps, Fabric, FabricConfig, Node};
+pub use fabric::{auto_nic_lanes, connect_qps, Fabric, FabricConfig, Node};
 pub use mr::{Access, MemoryRegion, MrTable};
 pub use nic::{NicStats, GRH_BYTES};
 pub use qp::Qp;

@@ -18,7 +18,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, TryRecvError};
+use flock_sync::clock;
+use flock_sync::AdaptiveBackoff;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,8 +75,9 @@ impl NicStats {
 }
 
 /// Engine lane main loop; runs on a dedicated thread owned by the
-/// fabric. `lane` only perturbs the loss-injection RNG so lanes draw
-/// independent streams.
+/// fabric (a cooperatively scheduled virtual core under
+/// `flock_sim::VirtualLab`). `lane` only perturbs the loss-injection RNG
+/// so lanes draw independent streams.
 pub(crate) fn engine_loop(
     fabric: Arc<FabricInner>,
     node: Arc<Node>,
@@ -84,12 +87,81 @@ pub(crate) fn engine_loop(
     let mut rng = SmallRng::seed_from_u64(
         fabric.config.seed ^ (node.id().0 as u64) << 17 ^ (lane as u64) << 40,
     );
+    if clock::is_virtual() {
+        engine_loop_virtual(&fabric, &node, &rx, &mut rng);
+        return;
+    }
     while let Ok(cmd) = rx.recv() {
         match cmd {
             NicCmd::Post { src_qpn, wr } => process(&fabric, &node, src_qpn, wr, &mut rng),
             NicCmd::Stop => break,
         }
     }
+}
+
+/// Virtual-time engine loop: a blocking `recv` would freeze the lab's
+/// only running core, so the lane polls its command channel and yields
+/// idle rounds to the virtual scheduler. Each verb *sleeps* its NIC
+/// service time (per the fabric's [`crate::timing::CostModel`]) before
+/// executing, which is what serializes a lane's throughput in virtual
+/// time: one lane processes at most `1s / nic_service` verbs per virtual
+/// second, and QPs sharded across lanes genuinely overlap. Because one
+/// lane is one task, per-QP FIFO order is exactly the threaded
+/// behaviour.
+fn engine_loop_virtual(
+    fabric: &Arc<FabricInner>,
+    node: &Arc<Node>,
+    rx: &Receiver<NicCmd>,
+    rng: &mut SmallRng,
+) {
+    // An idle NIC lane re-polls quickly (hardware notices doorbells in
+    // well under a microsecond); the tight virtual cap bounds added
+    // detection latency to 2 µs even after long idle stretches.
+    let mut idler =
+        AdaptiveBackoff::new(std::time::Duration::from_micros(2)).with_virtual_cap(2_000);
+    loop {
+        match rx.try_recv() {
+            Ok(NicCmd::Post { src_qpn, wr }) => {
+                idler.reset();
+                clock::sleep_ns(virtual_service_ns(&fabric.config.cost, node, src_qpn, &wr));
+                process(fabric, node, src_qpn, wr, rng);
+            }
+            Ok(NicCmd::Stop) | Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => idler.idle(),
+        }
+    }
+}
+
+/// Virtual NIC service time for one work request: base verb cost plus
+/// connection-state lookup (priced by whether the posting QP's state is
+/// resident in the NIC cache — the actual hit/miss is recorded by
+/// `process` with the same key), DMA per byte, read-responder surcharge,
+/// and CQE DMA when a completion will be generated.
+fn virtual_service_ns(
+    cost: &crate::timing::CostModel,
+    node: &Node,
+    src_qpn: QpNum,
+    wr: &SendWr,
+) -> u64 {
+    let bytes = match wr.op {
+        SendOp::Send { local }
+        | SendOp::Write { local, .. }
+        | SendOp::WriteImm { local, .. }
+        | SendOp::Read { local, .. } => local.len,
+        SendOp::FetchAdd { .. } | SendOp::CmpSwap { .. } => 8,
+    };
+    let hit = node
+        .cache()
+        .lock()
+        .contains(qp_state_key(node.id().0, src_qpn.0));
+    let mut ns = cost.nic_service(bytes, hit).as_nanos();
+    if matches!(wr.op, SendOp::Read { .. }) {
+        ns += cost.nic_read_extra_ns;
+    }
+    if wr.signaled {
+        ns += cost.nic_cqe_dma_ns;
+    }
+    ns
 }
 
 fn process(fabric: &FabricInner, node: &Arc<Node>, src_qpn: QpNum, wr: SendWr, rng: &mut SmallRng) {

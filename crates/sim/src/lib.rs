@@ -25,9 +25,11 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod vtime;
 
 pub use engine::Sim;
 pub use resource::{BankedServer, MultiServer};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram};
 pub use time::Ns;
+pub use vtime::VirtualLab;

@@ -1,0 +1,282 @@
+//! The virtual-time execution seam.
+//!
+//! Every fabric/runtime site that touches *time* or the *OS scheduler* —
+//! spawning a worker thread, yielding, parking, reading a clock, arming
+//! a deadline — goes through this module instead of `std` directly.
+//!
+//! Two executors implement the seam:
+//!
+//! * **Threaded** (the default, when no [`Executor`] is installed):
+//!   behaves exactly like the direct `std` calls the code used to make.
+//!   `now_ns` is wall time since a process-wide epoch, `spawn` is
+//!   `std::thread::spawn`, `sleep`/`yield` hit the OS scheduler, and
+//!   [`charge`] is a no-op. This path adds one thread-local read to the
+//!   call sites and nothing else.
+//!
+//! * **Virtual** (installed per task by `flock_sim::vtime::VirtualLab`):
+//!   tasks are *cooperatively scheduled virtual cores*. Exactly one task
+//!   runs at any wall instant; `now_ns` is the lab's virtual clock;
+//!   `sleep`/`yield` hand the core back to the lab's virtual-time event
+//!   heap, and [`charge`] accrues virtual CPU cost that is applied at
+//!   the task's next yield point. Because only one task runs at a time
+//!   and wake-ups are ordered by `(virtual time, sequence)`, a whole
+//!   multi-threaded run — real server, real NIC lanes, real clients —
+//!   is deterministic and can simulate any degree of parallelism on a
+//!   single host CPU (see DESIGN.md §5e).
+//!
+//! House rule for virtual tasks: **never yield while holding a lock
+//! another task can contend**. The threaded code already obeys this (all
+//! its spin/park sites drop locks first); conversions must preserve it,
+//! otherwise the lab deadlocks (the lock holder is parked and the next
+//! task blocks the one OS thread that could release it).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A cooperative scheduler driving virtual tasks. Implemented by
+/// `flock_sim::vtime::VirtualLab`; installed per task via [`install`].
+pub trait Executor: Send + Sync {
+    /// Current virtual time in nanoseconds.
+    fn now_ns(&self) -> u64;
+
+    /// Yield the virtual core, charging `ns` of virtual time before the
+    /// task becomes runnable again. Implementations clamp `ns` to at
+    /// least their yield cost so every yield makes virtual progress
+    /// (a zero-cost yield could spin forever at one instant).
+    fn advance(&self, ns: u64);
+
+    /// Spawn a new cooperative task. The child begins runnable at the
+    /// current virtual instant and inherits this executor.
+    fn spawn_task(&self, name: String, f: Box<dyn FnOnce() + Send>) -> TaskHandle;
+
+    /// The minimum virtual cost of one yield.
+    fn yield_cost_ns(&self) -> u64;
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<dyn Executor>>> = const { RefCell::new(None) };
+    /// Virtual CPU time accrued by [`charge`] since the last yield.
+    static PENDING_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide epoch for threaded-mode `now_ns`.
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Install `exec` as the calling thread's executor (the thread becomes a
+/// virtual task). Returns a guard that uninstalls on drop.
+pub fn install(exec: Arc<dyn Executor>) -> InstallGuard {
+    CURRENT.with(|c| *c.borrow_mut() = Some(exec));
+    PENDING_NS.with(|p| p.set(0));
+    InstallGuard { _priv: () }
+}
+
+/// Uninstalls the thread's executor when dropped.
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        PENDING_NS.with(|p| p.set(0));
+    }
+}
+
+/// The calling thread's executor, if it is a virtual task.
+pub fn current() -> Option<Arc<dyn Executor>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread runs under a virtual-time executor.
+#[inline]
+pub fn is_virtual() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Current time in nanoseconds: virtual time under an executor, wall
+/// time since a process-wide epoch otherwise.
+#[inline]
+pub fn now_ns() -> u64 {
+    match current() {
+        Some(e) => e.now_ns(),
+        None => wall_epoch().elapsed().as_nanos() as u64,
+    }
+}
+
+/// Accrue `ns` of virtual CPU cost against the calling task, applied at
+/// its next yield point ([`yield_now`], [`sleep_ns`], or an
+/// [`crate::AdaptiveBackoff::idle`] round). Charging instead of
+/// immediately yielding keeps the call legal inside critical sections.
+/// No-op in threaded mode.
+#[inline]
+pub fn charge(ns: u64) {
+    if is_virtual() {
+        PENDING_NS.with(|p| p.set(p.get().saturating_add(ns)));
+    }
+}
+
+fn take_pending() -> u64 {
+    PENDING_NS.with(|p| p.replace(0))
+}
+
+/// Apply any pending [`charge`]d cost now (a yield whose length is the
+/// accrued work). No-op in threaded mode or with nothing pending; used
+/// by poll loops on their *progressed* edge, where they would otherwise
+/// never yield.
+#[inline]
+pub fn flush_charge() {
+    if let Some(e) = current() {
+        let pending = take_pending();
+        if pending > 0 {
+            e.advance(pending);
+        }
+    }
+}
+
+/// Yield the core: `std::thread::yield_now` in threaded mode; in
+/// virtual mode a minimum-cost virtual yield that also applies pending
+/// charges.
+#[inline]
+pub fn yield_now() {
+    match current() {
+        Some(e) => {
+            let ns = take_pending().saturating_add(e.yield_cost_ns());
+            e.advance(ns);
+        }
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Sleep for `ns` nanoseconds of (virtual or wall) time, plus any
+/// pending charges in virtual mode.
+#[inline]
+pub fn sleep_ns(ns: u64) {
+    match current() {
+        Some(e) => {
+            let total = take_pending().saturating_add(ns);
+            e.advance(total);
+        }
+        None => std::thread::sleep(Duration::from_nanos(ns)),
+    }
+}
+
+/// Sleep for a [`Duration`] of (virtual or wall) time.
+#[inline]
+pub fn sleep(d: Duration) {
+    sleep_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+/// An absolute deadline `d` from now, in the calling task's clock
+/// domain. Compare with [`expired`].
+#[inline]
+pub fn deadline(d: Duration) -> u64 {
+    now_ns().saturating_add(d.as_nanos().min(u64::MAX as u128) as u64)
+}
+
+/// Whether a [`deadline`] has passed.
+#[inline]
+pub fn expired(deadline_ns: u64) -> bool {
+    now_ns() > deadline_ns
+}
+
+/// Handle to a task spawned through the seam.
+///
+/// In threaded mode this is a plain `JoinHandle`. In virtual mode
+/// [`TaskHandle::join`] first waits — in virtual time, yielding turns to
+/// the joinee — for the task to deregister from the lab, then joins the
+/// underlying OS thread (which by then runs no scheduled code). Joining
+/// a virtual task with a bare `JoinHandle::join` would deadlock: the
+/// joiner holds the virtual core the joinee needs to finish.
+#[derive(Debug)]
+pub struct TaskHandle {
+    inner: std::thread::JoinHandle<()>,
+    /// `Some` for virtual tasks: set (with `Release`, under the lab
+    /// lock, before the core is handed over) when the task deregisters.
+    finished: Option<Arc<AtomicBool>>,
+}
+
+impl TaskHandle {
+    /// Wrap a plain OS thread (threaded mode).
+    pub fn threaded(inner: std::thread::JoinHandle<()>) -> TaskHandle {
+        TaskHandle {
+            inner,
+            finished: None,
+        }
+    }
+
+    /// Wrap a virtual task and its deregistration flag (virtual mode;
+    /// called by executor implementations).
+    pub fn virtualized(inner: std::thread::JoinHandle<()>, finished: Arc<AtomicBool>) -> TaskHandle {
+        TaskHandle {
+            inner,
+            finished: Some(finished),
+        }
+    }
+
+    /// Wait for the task to finish.
+    pub fn join(self) -> std::thread::Result<()> {
+        if let Some(f) = &self.finished {
+            // Poll in virtual time so the joinee keeps getting the core.
+            // The flag is published before the handover that follows the
+            // joinee's deregistration, so the poll count is deterministic.
+            while !f.load(Ordering::Acquire) {
+                sleep_ns(1_000);
+            }
+        }
+        self.inner.join()
+    }
+
+    /// Whether the task has already finished (virtual tasks only;
+    /// threaded handles report via `JoinHandle::is_finished`).
+    pub fn is_finished(&self) -> bool {
+        match &self.finished {
+            Some(f) => f.load(Ordering::Acquire),
+            None => self.inner.is_finished(),
+        }
+    }
+}
+
+/// Spawn a worker through the seam: a named OS thread in threaded mode,
+/// a cooperative virtual task when the caller is one. Panics if the OS
+/// refuses the thread (matching the `.expect` the direct call sites
+/// used).
+pub fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> TaskHandle {
+    match current() {
+        Some(e) => e.spawn_task(name.to_string(), Box::new(f)),
+        None => TaskHandle::threaded(
+            std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(f)
+                .expect("spawn worker thread"),
+        ),
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_mode_is_the_default() {
+        assert!(!is_virtual());
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        charge(1_000_000); // must be a no-op
+        flush_charge();
+        yield_now();
+        let d = deadline(Duration::from_secs(3600));
+        assert!(!expired(d));
+    }
+
+    #[test]
+    fn threaded_spawn_and_join() {
+        let h = spawn("clock-test", || {});
+        assert!(h.join().is_ok());
+    }
+}

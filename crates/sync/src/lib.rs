@@ -31,6 +31,8 @@
 //!   to plain yields: parking is an OS-scheduler concern, invisible to
 //!   the memory model.
 
+pub mod clock;
+
 #[cfg(loom)]
 pub use loom::{cell::UnsafeCell, hint, sync::atomic, sync::Arc, thread};
 
@@ -113,7 +115,11 @@ pub fn backoff(spins: u32) {
     }
     #[cfg(not(loom))]
     {
-        if spins.is_multiple_of(128) || single_cpu() {
+        if clock::is_virtual() {
+            // A virtual task spinning never lets the peer it waits on
+            // run; every spin iteration must be a virtual yield.
+            clock::yield_now();
+        } else if spins.is_multiple_of(128) || single_cpu() {
             thread::yield_now();
         } else {
             hint::spin_loop();
@@ -159,6 +165,10 @@ pub struct AdaptiveBackoff {
     // Unread under cfg(loom), where every tier is a voluntary yield.
     #[cfg_attr(loom, allow(dead_code))]
     max_park: std::time::Duration,
+    // Cap of the virtual ladder; unread under cfg(loom) for the same
+    // reason as `max_park`.
+    #[cfg_attr(loom, allow(dead_code))]
+    virtual_cap_ns: u64,
 }
 
 impl AdaptiveBackoff {
@@ -168,13 +178,44 @@ impl AdaptiveBackoff {
     pub const YIELD_LIMIT: u32 = 64;
     /// First park duration once spinning and yielding are exhausted.
     pub const FIRST_PARK: std::time::Duration = std::time::Duration::from_micros(5);
+    /// First poll period of the *virtual* ladder (spinning a virtual core
+    /// is pure waste — the ladder escalates from here straight to
+    /// [`Self::VIRTUAL_MAX_POLL_NS`]-capped virtual sleeps).
+    pub const VIRTUAL_FIRST_POLL_NS: u64 = 250;
+    /// Deep-idle cap of the virtual ladder (~1 ms). Deliberately larger
+    /// than typical `max_park` values: wall parks are sized to bound
+    /// *detection latency per burned host core*, but a virtual sleeping
+    /// task costs lab *events*, and thousands of idle tasks (unused NIC
+    /// lanes at paper scale) polling every 2 µs of virtual time would
+    /// swamp the event heap. Busy tasks reset the ladder, so steady-state
+    /// detection stays at [`Self::VIRTUAL_FIRST_POLL_NS`] scale.
+    pub const VIRTUAL_MAX_POLL_NS: u64 = Self::VIRTUAL_FIRST_POLL_NS << 12;
 
     /// A backoff whose park tier never sleeps longer than `max_park`.
     pub fn new(max_park: std::time::Duration) -> AdaptiveBackoff {
         AdaptiveBackoff {
             idle_rounds: 0,
             max_park,
+            virtual_cap_ns: Self::VIRTUAL_MAX_POLL_NS,
         }
+    }
+
+    /// Cap the *virtual* ladder at `ns` instead of the deep-idle default
+    /// ([`Self::VIRTUAL_MAX_POLL_NS`]).
+    ///
+    /// The wall ladder parks to save host CPU; detection latency is the
+    /// price and deepening it is always safe. The virtual ladder has no
+    /// such trade — a virtual sleep is free host-wise — so its cap is a
+    /// *modeling* choice: dedicated polling actors (server dispatchers,
+    /// client response dispatchers, NIC engines) never sleep tens of
+    /// microseconds between bursts on real hardware, and letting them do
+    /// so in the lab inflates burst-detection latency with dispatcher
+    /// count, masking the sharding win the lab exists to measure. Such
+    /// actors set a tight cap here; incidental waiters keep the deep
+    /// default so thousands of idle tasks don't swamp the event heap.
+    pub fn with_virtual_cap(mut self, ns: u64) -> AdaptiveBackoff {
+        self.virtual_cap_ns = ns.max(Self::VIRTUAL_FIRST_POLL_NS);
+        self
     }
 
     /// Work was found: snap back to the spin tier.
@@ -198,7 +239,15 @@ impl AdaptiveBackoff {
         }
         #[cfg(not(loom))]
         {
-            if self.idle_rounds <= Self::SPIN_LIMIT && !single_cpu() {
+            if clock::is_virtual() {
+                // Virtual ladder: each idle round is a charged virtual
+                // sleep whose period doubles from VIRTUAL_FIRST_POLL_NS
+                // up to VIRTUAL_MAX_POLL_NS, mirroring the park tier's
+                // shape without burning wall time or host CPU.
+                let exp = self.idle_rounds.saturating_sub(1).min(12);
+                let poll = (Self::VIRTUAL_FIRST_POLL_NS << exp).min(self.virtual_cap_ns);
+                clock::sleep_ns(poll);
+            } else if self.idle_rounds <= Self::SPIN_LIMIT && !single_cpu() {
                 hint::spin_loop();
             } else if self.idle_rounds <= Self::SPIN_LIMIT + Self::YIELD_LIMIT {
                 thread::yield_now();

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Virtual-time scaling sweep: the real receive path (TCQ, sharded
+# dispatch, multi-lane NIC, QP scheduler) inside the deterministic
+# virtual-time lab, written to BENCH_scale.json (see EXPERIMENTS.md
+# "Virtual-time scaling surface").
+#
+# Usage:
+#   scripts/bench_scale.sh            full sweep (the checked-in surface)
+#   scripts/bench_scale.sh --quick    CI smoke (two small points)
+#
+# Extra arguments are passed through, e.g. `--reqs 48 --out /tmp/s.json`.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -p flock-bench --bin bench_scale -- "$@"
