@@ -9,8 +9,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use flock_sync::clock;
+use flock_sync::clock::TaskHandle;
 
 use flock_fabric::{
     Access, MemoryRegion, Node, NodeId, QpNum, RecvWr, SendWr, Sge, Transport, WrId, GRH_BYTES,
@@ -237,7 +239,7 @@ impl Reassembly {
 pub struct UdRpcServer {
     ep: Arc<Endpoint>,
     stop: Arc<AtomicBool>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    worker: Mutex<Option<TaskHandle>>,
     /// Requests processed (for CPU-overhead comparisons).
     pub requests: Arc<AtomicU64>,
 }
@@ -261,50 +263,54 @@ impl UdRpcServer {
             let ep = Arc::clone(&ep);
             let stop = Arc::clone(&stop);
             let requests = Arc::clone(&requests);
-            std::thread::Builder::new()
-                .name("ud-rpc-server".into())
-                .spawn(move || {
-                    // Reassembly buffers keyed by (src node, thread, seq).
-                    let mut partial: HashMap<(u32, u32, u64), Reassembly> = HashMap::new();
-                    // Response cache for retransmitted requests we already
-                    // answered (at-most-once execution).
-                    let mut answered: HashMap<(u32, u32), (u64, Vec<u8>)> = HashMap::new();
-                    while !stop.load(Ordering::Relaxed) {
-                        let Some((src, pkt)) = ep.poll() else {
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        let Some(src) = src else { continue };
-                        if pkt.kind != KIND_REQ {
-                            continue;
-                        }
-                        let ckey = (src.0 .0, pkt.thread);
-                        if let Some((seq, resp)) = answered.get(&ckey) {
-                            if *seq == pkt.seq {
-                                // Duplicate (retransmitted) request.
-                                send_fragmented(
-                                    &ep, src, KIND_RESP, pkt.rpc_id, pkt.thread, pkt.seq,
-                                )(resp);
-                                continue;
-                            }
-                        }
-                        let key = (src.0 .0, pkt.thread, pkt.seq);
-                        let nfrags = pkt.nfrags.max(1) as usize;
-                        let entry = partial
-                            .entry(key)
-                            .or_insert_with(|| Reassembly::new(nfrags));
-                        if let Some(req) = entry.add(pkt.frag as usize, pkt.payload) {
-                            partial.remove(&key);
-                            requests.fetch_add(1, Ordering::Relaxed);
-                            let resp = handler(pkt.rpc_id, &req);
+            clock::spawn("ud-rpc-server", move || {
+                // Reassembly buffers keyed by (src node, thread, seq).
+                let mut partial: HashMap<(u32, u32, u64), Reassembly> = HashMap::new();
+                // Response cache for retransmitted requests we already
+                // answered (at-most-once execution).
+                let mut answered: HashMap<(u32, u32), (u64, Vec<u8>)> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let Some((src, pkt)) = ep.poll() else {
+                        // Empty poll: yield the core (a short virtual
+                        // sleep under VirtualLab, an OS yield otherwise).
+                        clock::yield_now();
+                        continue;
+                    };
+                    // Progressed: charge per-packet CPU cost so a busy
+                    // virtual worker still advances time and yields
+                    // the core (no-ops in threaded mode).
+                    clock::charge(1_000);
+                    clock::flush_charge();
+                    let Some(src) = src else { continue };
+                    if pkt.kind != KIND_REQ {
+                        continue;
+                    }
+                    let ckey = (src.0 .0, pkt.thread);
+                    if let Some((seq, resp)) = answered.get(&ckey) {
+                        if *seq == pkt.seq {
+                            // Duplicate (retransmitted) request.
                             send_fragmented(&ep, src, KIND_RESP, pkt.rpc_id, pkt.thread, pkt.seq)(
-                                &resp,
+                                resp,
                             );
-                            answered.insert(ckey, (pkt.seq, resp));
+                            continue;
                         }
                     }
-                })
-                .expect("spawn ud server")
+                    let key = (src.0 .0, pkt.thread, pkt.seq);
+                    let nfrags = pkt.nfrags.max(1) as usize;
+                    let entry = partial
+                        .entry(key)
+                        .or_insert_with(|| Reassembly::new(nfrags));
+                    if let Some(req) = entry.add(pkt.frag as usize, pkt.payload) {
+                        partial.remove(&key);
+                        requests.fetch_add(1, Ordering::Relaxed);
+                        let resp = handler(pkt.rpc_id, &req);
+                        send_fragmented(&ep, src, KIND_RESP, pkt.rpc_id, pkt.thread, pkt.seq)(
+                            &resp,
+                        );
+                        answered.insert(ckey, (pkt.seq, resp));
+                    }
+                }
+            })
         };
         UdRpcServer {
             ep,
@@ -340,7 +346,7 @@ pub struct UdRpcClient {
     server: (NodeId, QpNum),
     shared: Arc<ClientShared>,
     stop: Arc<AtomicBool>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    worker: Mutex<Option<TaskHandle>>,
     next_thread: AtomicU64,
     /// Total retransmissions performed (observability for loss tests).
     pub retransmissions: Arc<AtomicU64>,
@@ -366,30 +372,29 @@ impl UdRpcClient {
             let ep = Arc::clone(&ep);
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("ud-rpc-client".into())
-                .spawn(move || {
-                    let mut partial: HashMap<(u32, u64), Reassembly> = HashMap::new();
-                    while !stop.load(Ordering::Relaxed) {
-                        let Some((_src, pkt)) = ep.poll() else {
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        if pkt.kind != KIND_RESP {
-                            continue;
-                        }
-                        let key = (pkt.thread, pkt.seq);
-                        let entry = partial
-                            .entry(key)
-                            .or_insert_with(|| Reassembly::new(pkt.nfrags.max(1) as usize));
-                        if let Some(resp) = entry.add(pkt.frag as usize, pkt.payload) {
-                            partial.remove(&key);
-                            shared.inboxes.lock().insert(key, resp);
-                            shared.cond.notify_all();
-                        }
+            clock::spawn("ud-rpc-client", move || {
+                let mut partial: HashMap<(u32, u64), Reassembly> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let Some((_src, pkt)) = ep.poll() else {
+                        clock::yield_now();
+                        continue;
+                    };
+                    clock::charge(1_000);
+                    clock::flush_charge();
+                    if pkt.kind != KIND_RESP {
+                        continue;
                     }
-                })
-                .expect("spawn ud client")
+                    let key = (pkt.thread, pkt.seq);
+                    let entry = partial
+                        .entry(key)
+                        .or_insert_with(|| Reassembly::new(pkt.nfrags.max(1) as usize));
+                    if let Some(resp) = entry.add(pkt.frag as usize, pkt.payload) {
+                        partial.remove(&key);
+                        shared.inboxes.lock().insert(key, resp);
+                        shared.cond.notify_all();
+                    }
+                }
+            })
         };
         UdRpcClient {
             ep,
@@ -437,20 +442,47 @@ impl UdThread<'_> {
             send_fragmented(&c.ep, c.server, KIND_REQ, rpc_id, self.thread_id, seq)(payload);
         };
         send();
-        let deadline = Instant::now() + c.ep.cfg.timeout;
+        let deadline = clock::deadline(c.ep.cfg.timeout);
         let mut retries = 0;
+        if clock::is_virtual() {
+            // Poll in virtual time (a condvar wait would park the lab's
+            // one runnable OS thread); the lock is dropped across each
+            // sleep so the worker can deliver.
+            let mut rto = clock::deadline(c.ep.cfg.rto);
+            loop {
+                if let Some(resp) = c.shared.inboxes.lock().remove(&key) {
+                    return Ok(resp);
+                }
+                if clock::expired(deadline) {
+                    return Err("rpc timed out");
+                }
+                if clock::expired(rto) {
+                    retries += 1;
+                    if retries > c.ep.cfg.max_retries {
+                        return Err("too many retransmissions");
+                    }
+                    c.retransmissions.fetch_add(1, Ordering::Relaxed);
+                    send();
+                    rto = clock::deadline(c.ep.cfg.rto);
+                }
+                clock::sleep_ns(500);
+            }
+        }
         loop {
             let mut inboxes = c.shared.inboxes.lock();
             if let Some(resp) = inboxes.remove(&key) {
                 return Ok(resp);
             }
-            let rto = Instant::now() + c.ep.cfg.rto;
-            let timed_out = c.shared.cond.wait_until(&mut inboxes, rto).timed_out();
+            let timed_out = c
+                .shared
+                .cond
+                .wait_for(&mut inboxes, c.ep.cfg.rto)
+                .timed_out();
             if let Some(resp) = inboxes.remove(&key) {
                 return Ok(resp);
             }
             drop(inboxes);
-            if Instant::now() > deadline {
+            if clock::expired(deadline) {
                 return Err("rpc timed out");
             }
             if timed_out {

@@ -10,11 +10,13 @@
 //! unmodified [`flock_core::server::FlockServer`].
 
 use std::collections::HashMap;
-use std::thread::JoinHandle;
 
 use flock_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use flock_core::sync::{self, Arc};
-use std::time::{Duration, Instant};
+use flock_core::sync::Arc;
+use std::time::Duration;
+
+use flock_sync::clock;
+use flock_sync::clock::TaskHandle;
 
 use crossbeam::channel::bounded;
 use flock_core::credit::CreditState;
@@ -83,7 +85,7 @@ struct Inner {
 /// The lock-based QP-sharing RPC client.
 pub struct LockSharedClient {
     inner: Arc<Inner>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatcher: Option<TaskHandle>,
 }
 
 /// A per-thread context for [`LockSharedClient`].
@@ -157,10 +159,7 @@ impl LockSharedClient {
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("lockshare-dispatch".into())
-                .spawn(move || dispatcher_loop(&inner))
-                .expect("spawn dispatcher")
+            clock::spawn("lockshare-dispatch", move || dispatcher_loop(&inner))
         };
         Ok(LockSharedClient {
             inner,
@@ -225,7 +224,7 @@ impl LockThread {
             rpc_id,
         };
         let need = msg::encoded_size([payload.len()]);
-        let deadline = Instant::now() + self.inner.cfg.timeout;
+        let deadline = clock::deadline(self.inner.cfg.timeout);
 
         // ---- The whole send path holds the QP lock (FaRM model). ----
         {
@@ -242,7 +241,19 @@ impl LockThread {
                 if self.inner.stop.load(Ordering::Relaxed) {
                     return Err(FlockError::Disconnected);
                 }
-                if qp.lane_cond.wait_until(&mut lane, deadline).timed_out() {
+                if clock::is_virtual() {
+                    // A condvar wait would park the lab's one runnable
+                    // OS thread; poll in virtual time with the lane
+                    // unlocked so the dispatcher can grant credits.
+                    if clock::expired(deadline) {
+                        return Err(FlockError::Timeout);
+                    }
+                    parking_lot::MutexGuard::unlocked(&mut lane, || clock::sleep_ns(500));
+                } else if qp
+                    .lane_cond
+                    .wait_for(&mut lane, remaining(deadline))
+                    .timed_out()
+                {
                     return Err(FlockError::Timeout);
                 }
             }
@@ -266,10 +277,10 @@ impl LockThread {
                 match lane.prod.reserve(need) {
                     Ok(r) => break r,
                     Err(FlockError::RingFull { .. }) => {
-                        if Instant::now() > deadline {
+                        if clock::expired(deadline) {
                             return Err(FlockError::Timeout);
                         }
-                        parking_lot::MutexGuard::unlocked(&mut lane, sync::thread::yield_now);
+                        parking_lot::MutexGuard::unlocked(&mut lane, clock::yield_now);
                     }
                     Err(e) => return Err(e),
                 }
@@ -323,6 +334,20 @@ impl LockThread {
         }
 
         // ---- Wait for the response outside the lock. ----
+        if clock::is_virtual() {
+            loop {
+                if let Some(data) = self.slot.inbox.lock().remove(&seq) {
+                    return Ok(data);
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if clock::expired(deadline) {
+                    return Err(FlockError::Timeout);
+                }
+                clock::sleep_ns(500);
+            }
+        }
         let mut inbox = self.slot.inbox.lock();
         loop {
             if let Some(data) = inbox.remove(&seq) {
@@ -331,11 +356,21 @@ impl LockThread {
             if self.inner.stop.load(Ordering::Relaxed) {
                 return Err(FlockError::Disconnected);
             }
-            if self.slot.cond.wait_until(&mut inbox, deadline).timed_out() {
+            if self
+                .slot
+                .cond
+                .wait_for(&mut inbox, remaining(deadline))
+                .timed_out()
+            {
                 return Err(FlockError::Timeout);
             }
         }
     }
+}
+
+/// Wall- or virtual-clock time left until an absolute [`clock::deadline`].
+fn remaining(deadline_ns: u64) -> Duration {
+    Duration::from_nanos(deadline_ns.saturating_sub(clock::now_ns()))
 }
 
 fn send_credit_request(qp: &QpCtx) {
@@ -393,8 +428,14 @@ fn dispatcher_loop(inner: &Inner) {
                 }
             }
         }
-        if !progressed {
-            sync::thread::yield_now();
+        if progressed {
+            // Charge per-batch CPU cost so a busy virtual dispatcher
+            // still advances time and yields the core (no-ops in
+            // threaded mode).
+            clock::charge(1_000);
+            clock::flush_charge();
+        } else {
+            clock::yield_now();
         }
     }
     for slot in inner.threads.lock().iter() {

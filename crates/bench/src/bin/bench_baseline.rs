@@ -98,7 +98,8 @@ fn ring_wrap_ns(warmup: Duration, measure: Duration) -> f64 {
                 RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], 0x1234);
             });
         }
-        mr.write(res.offset, &staging[..n]).expect("in-bounds write");
+        mr.write(res.offset, &staging[..n])
+            .expect("in-bounds write");
         let m = cons.poll(&mr).expect("no corruption").expect("message");
         prod.update_head(cons.head());
         std::hint::black_box(m.len());
@@ -183,17 +184,17 @@ fn main() {
     };
     let ring_wrap = ring_wrap_ns(warmup, measure);
 
-    eprintln!("bench_baseline: fig6-style sweep ({} points) ...", sweep.len());
+    eprintln!(
+        "bench_baseline: fig6-style sweep ({} points) ...",
+        sweep.len()
+    );
     let points: Vec<SweepPoint> = sweep.iter().map(|&t| sweep_point(t, sim_ms)).collect();
 
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"quick\": {quick},");
     j.push_str("  \"micro\": {\n");
-    let _ = writeln!(
-        j,
-        "    \"tcq_pooled_uncontended_ns\": {pooled_unc:.1},"
-    );
+    let _ = writeln!(j, "    \"tcq_pooled_uncontended_ns\": {pooled_unc:.1},");
     let _ = writeln!(j, "    \"tcq_boxed_uncontended_ns\": {boxed_unc:.1},");
     let _ = writeln!(
         j,
@@ -204,10 +205,7 @@ fn main() {
         j,
         "    \"tcq_pooled_contended8_ns_per_op\": {pooled_con:.1},"
     );
-    let _ = writeln!(
-        j,
-        "    \"tcq_boxed_contended8_ns_per_op\": {boxed_con:.1},"
-    );
+    let _ = writeln!(j, "    \"tcq_boxed_contended8_ns_per_op\": {boxed_con:.1},");
     let _ = writeln!(
         j,
         "    \"tcq_contended_improvement_pct\": {:.1},",

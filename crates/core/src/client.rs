@@ -337,7 +337,9 @@ impl ConnectionHandle {
         };
         let scheduler = if cfg.auto_thread_sched {
             let inner = Arc::clone(&inner);
-            Some(clock::spawn("fl-thread-sched", move || scheduler_loop(&inner)))
+            Some(clock::spawn("fl-thread-sched", move || {
+                scheduler_loop(&inner)
+            }))
         } else {
             None
         };
@@ -1009,9 +1011,8 @@ fn flush_parts(
     // Stage and post the wrap record first, if needed (written directly
     // into the staging mirror: no temporary buffer).
     if let Some((woff, wlen)) = reservation.wrap {
-        qp.staging.with_write(|buf| {
-            RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], canary)
-        });
+        qp.staging
+            .with_write(|buf| RingProducer::write_wrap_record(&mut buf[woff..woff + wlen], canary));
         qp.qp.post_send(
             SendWr::write(
                 WrId(0),
@@ -1035,7 +1036,8 @@ fn flush_parts(
         msg::encode_iter(
             &mut buf[reservation.offset..reservation.offset + need],
             &header,
-            rpcs.iter().map(|(meta, data)| EntryRef { meta: *meta, data }),
+            rpcs.iter()
+                .map(|(meta, data)| EntryRef { meta: *meta, data }),
         )
         .map(|_| ())
     })?;

@@ -40,6 +40,8 @@ thread_local! {
 // const-initialized TLS read cannot allocate (no lazy init), and
 // `try_with` tolerates TLS teardown.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: counting is a side effect only; allocation itself is
+    // delegated to `System` under the caller's `layout` contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.try_with(Cell::get).unwrap_or(false) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);

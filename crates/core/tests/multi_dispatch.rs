@@ -63,8 +63,7 @@ fn fan_in_canaries_survive_sharded_dispatch() {
         let node = domain.add_node(&format!("mc-{client}"));
         let mut cfg = HandleConfig::default();
         cfg.n_qps = 2;
-        let handle =
-            Arc::new(fl_connect(&domain, &node, "shard-srv", cfg).expect("connect"));
+        let handle = Arc::new(fl_connect(&domain, &node, "shard-srv", cfg).expect("connect"));
         handles.push(Arc::clone(&handle));
         for thread in 0..THREADS {
             let t = handle.register_thread();
@@ -72,8 +71,7 @@ fn fan_in_canaries_survive_sharded_dispatch() {
                 for round in 0..ROUNDS {
                     let seqs: Vec<(u64, String)> = (0..WINDOW)
                         .map(|w| {
-                            let canary =
-                                format!("canary-{client}-{thread}-{}", round * WINDOW + w);
+                            let canary = format!("canary-{client}-{thread}-{}", round * WINDOW + w);
                             let seq = t.send_rpc(7, canary.as_bytes()).expect("send");
                             (seq, canary)
                         })

@@ -262,14 +262,51 @@ impl CompletionQueue {
         n
     }
 
-    /// Poll a single completion without blocking.
+    /// Poll a single completion without blocking. Allocation-free: the
+    /// single-entry case claims one cell directly instead of routing
+    /// through the `Vec`-based batch path (`wait_one` calls this in its
+    /// inner loop, so a per-call `Vec` would allocate on every empty
+    /// poll).
     pub fn poll_one(&self) -> Option<Completion> {
-        let mut out = Vec::with_capacity(1);
-        if self.poll(&mut out, 1) == 1 {
-            out.pop()
-        } else {
-            None
+        loop {
+            let pos = self.dequeue_pos.load(Ordering::Relaxed);
+            let cell = &self.cells[(pos & self.mask) as usize];
+            if cell.seq.load(Ordering::Acquire) != pos + 1 {
+                break; // ring empty (or the head cell not yet published)
+            }
+            match self.dequeue_pos.compare_exchange(
+                pos,
+                pos + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let c = cell.val.with(|p| {
+                        // SAFETY: the CAS gave this consumer exclusive
+                        // ownership of the claimed cell; the Acquire load
+                        // of `seq` ordered the producer's payload write
+                        // before this read. `Completion` is `Copy`.
+                        unsafe { (*p).assume_init() }
+                    });
+                    // Recycle the slot for the producer one lap ahead.
+                    cell.seq
+                        .store(pos + self.cells.len() as u64, Ordering::Release);
+                    return Some(c);
+                }
+                Err(_) => continue, // another consumer claimed first; rescan
+            }
         }
+        if self.spill_active.load(Ordering::Acquire) != 0 {
+            let mut spill = self.spill.lock();
+            let c = spill.pop_front();
+            if spill.is_empty() {
+                self.spill_active.store(0, Ordering::Release);
+            }
+            if c.is_some() {
+                return c;
+            }
+        }
+        None
     }
 
     /// Block until a completion is available or `timeout` elapses.
@@ -300,7 +337,7 @@ impl CompletionQueue {
                 // Long waits (tests use tens of ms) should not burn a
                 // core: after ~4k spin/yield rounds, sleep in short
                 // slices toward the deadline.
-                std::thread::sleep(Duration::from_micros(100));
+                flock_sync::clock::sleep(Duration::from_micros(100));
             }
         }
     }

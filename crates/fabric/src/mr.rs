@@ -190,10 +190,13 @@ impl MemoryRegion {
             });
         }
         if std::ptr::eq(self, dst) {
-            self.buf.write().copy_within(src_off..src_off + len, dst_off);
+            self.buf
+                .write()
+                .copy_within(src_off..src_off + len, dst_off);
             return Ok(());
         }
-        let src_first = (self as *const MemoryRegion as usize) < (dst as *const MemoryRegion as usize);
+        let src_first =
+            (self as *const MemoryRegion as usize) < (dst as *const MemoryRegion as usize);
         if src_first {
             let src = self.buf.read();
             let mut d = dst.buf.write();

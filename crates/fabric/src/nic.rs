@@ -392,7 +392,10 @@ fn deliver_recv_error(dst_node: &Node, dst_qp: &crate::qp::Qp, recv: &RecvWr) {
 
 /// Resolve a local SGE to its region and buffer offset (bounds-checked),
 /// without copying anything.
-fn resolve_local(node: &Node, sge: Sge) -> Result<(std::sync::Arc<crate::mr::MemoryRegion>, usize)> {
+fn resolve_local(
+    node: &Node,
+    sge: Sge,
+) -> Result<(std::sync::Arc<crate::mr::MemoryRegion>, usize)> {
     let mr = node.mrs().lookup_lkey(sge.lkey)?;
     let off = mr.translate(sge.addr, sge.len)?;
     Ok((mr, off))

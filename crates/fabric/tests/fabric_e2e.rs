@@ -666,7 +666,8 @@ fn multi_lane_engine_preserves_per_qp_fifo() {
     // have executed.
     for (i, (_c, mr, _cq, qp)) in clients.iter().enumerate() {
         for n in 0..64u64 {
-            mr.write_u64((n as usize % 16) * 8, (i as u64) << 32 | n).unwrap();
+            mr.write_u64((n as usize % 16) * 8, (i as u64) << 32 | n)
+                .unwrap();
             let mut wr = SendWr::write(
                 WrId(n),
                 Sge {

@@ -338,7 +338,9 @@ mod tests {
         VirtualLab::run({
             let order = order.clone();
             move || {
-                let mk = |tag: &'static str, period: u64, order: Arc<Mutex<Vec<(u64, &'static str)>>>| {
+                let mk = |tag: &'static str,
+                          period: u64,
+                          order: Arc<Mutex<Vec<(u64, &'static str)>>>| {
                     clock::spawn(tag, move || {
                         for _ in 0..3 {
                             clock::sleep_ns(period);

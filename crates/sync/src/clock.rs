@@ -211,7 +211,10 @@ impl TaskHandle {
 
     /// Wrap a virtual task and its deregistration flag (virtual mode;
     /// called by executor implementations).
-    pub fn virtualized(inner: std::thread::JoinHandle<()>, finished: Arc<AtomicBool>) -> TaskHandle {
+    pub fn virtualized(
+        inner: std::thread::JoinHandle<()>,
+        finished: Arc<AtomicBool>,
+    ) -> TaskHandle {
         TaskHandle {
             inner,
             finished: Some(finished),

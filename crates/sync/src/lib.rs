@@ -254,7 +254,9 @@ impl AdaptiveBackoff {
             } else {
                 let over = self.idle_rounds - Self::SPIN_LIMIT - Self::YIELD_LIMIT;
                 let exp = over.min(10); // 5 µs << 10 ≈ 5 ms, before the cap
-                let park = Self::FIRST_PARK.saturating_mul(1u32 << exp).min(self.max_park);
+                let park = Self::FIRST_PARK
+                    .saturating_mul(1u32 << exp)
+                    .min(self.max_park);
                 thread::sleep(park);
             }
         }

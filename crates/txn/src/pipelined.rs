@@ -111,7 +111,7 @@ impl PipelinedTxnClient {
                 }
             }
             if !progressed {
-                std::thread::yield_now();
+                flock_sync::clock::yield_now();
             }
         }
         Ok(stats)

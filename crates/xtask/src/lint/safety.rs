@@ -1,0 +1,86 @@
+//! Rule `safety`: every `unsafe` block, fn, impl, and trait must carry a
+//! written justification.
+//!
+//! PR 1 established the convention (`// SAFETY: …` on blocks, a
+//! `# Safety` doc section on unsafe fns); the workspace-level
+//! `clippy::undocumented_unsafe_blocks` lint only *warns* and only
+//! covers blocks, so this rule enforces the whole convention as an
+//! error. Accepted placements:
+//!
+//! * a `// SAFETY:` (or `/* SAFETY: */`) comment on the lines directly
+//!   above the `unsafe` keyword (blank lines and attributes may
+//!   intervene, nothing else);
+//! * a comment on the same line, or on the first line inside the block
+//!   (`unsafe { // SAFETY: …`);
+//! * for `unsafe fn`/`unsafe trait`: a doc comment containing
+//!   `# Safety` anywhere in the item's doc block.
+
+use crate::diag::Diagnostic;
+use crate::parse::SourceModel;
+
+/// Check one file; returns diagnostics for undocumented `unsafe`.
+pub fn check(models: &[&SourceModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for model in models {
+        for site in &model.unsafes {
+            if documented(model, site.line) {
+                continue;
+            }
+            diags.push(
+                Diagnostic::error(
+                    "safety",
+                    format!(
+                        "`unsafe` {} without a `// SAFETY:` justification",
+                        site.kind
+                    ),
+                )
+                .at(&model.path, site.line)
+                .snippet(model.line_text(site.line))
+                .note(
+                    "write `// SAFETY: <why the contract holds>` directly above (or a \
+                     `# Safety` doc section for unsafe fns)",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+/// Whether an `unsafe` at 1-based `line` has a SAFETY justification in
+/// the accepted window.
+fn documented(model: &SourceModel, line: usize) -> bool {
+    let has_marker = |l: usize| -> bool {
+        let text = model.line_text(l);
+        text.contains("SAFETY") || text.contains("# Safety")
+    };
+    // Same line or first line inside the block.
+    if has_marker(line) || has_marker(line + 1) {
+        return true;
+    }
+    // Walk upward through comments, doc comments, attributes, and blank
+    // lines; the first "real code" line stops the search.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let text = model.line_text(l);
+        let t = text.trim_start();
+        if t.is_empty()
+            || t.starts_with("//")
+            || t.starts_with("#[")
+            || t.starts_with("#!")
+            || t.starts_with("*/")
+            || t.starts_with('*')
+            || t.starts_with("/*")
+        {
+            if has_marker(l) {
+                return true;
+            }
+            if l == 1 {
+                break;
+            }
+            l -= 1;
+            continue;
+        }
+        break;
+    }
+    false
+}

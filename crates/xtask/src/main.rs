@@ -1,307 +1,35 @@
-//! Workspace maintenance tasks, invoked through cargo aliases (see
-//! `.cargo/config.toml`).
-//!
-//! # `cargo audit-orderings`
-//!
-//! The workspace's atomic-ordering lint policy: every `Ordering::*`
-//! argument at an atomic operation must carry a one-line justification
-//! in `orderings.allow` at the workspace root. The audit fails when a
-//! site in the code has no entry (most importantly: a *new* `Relaxed`
-//! on a shared protocol field slips in without review) and when an
-//! entry goes stale (the site it justified is gone), so the allowlist
-//! is always exactly the set of orderings the tree actually contains.
-//!
-//! Sites are keyed `file::item::Variant#n` — the enclosing `fn` (or
-//! module path for file-level code) plus a per-(item, variant) ordinal —
-//! rather than line numbers, so unrelated edits to a file do not
-//! invalidate the allowlist. Run with `--fix` to append skeleton
-//! entries (justification `TODO`) for any missing sites; `TODO`
-//! justifications still fail the audit, so they must be filled in.
-//!
-//! # `cargo loom`
-//!
-//! Runs every loom model-checking suite in the workspace (there is one
-//! per crate with a lock-free protocol: `flock-core`'s TCQ and
-//! `flock-fabric`'s completion-queue ring) under `RUSTFLAGS="--cfg
-//! loom"`. A plain `cargo test --test <t>` can't span packages, so the
-//! suite list lives here. Extra arguments are forwarded to every test
-//! binary (e.g. `cargo loom handoff` to filter).
+//! The `xtask` binary: thin dispatcher over the library modules (see
+//! `lib.rs` for the task inventory and `.cargo/config.toml` for the
+//! cargo aliases that invoke them).
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Directories scanned for `Ordering::` sites, relative to the
-/// workspace root. `shims/` is deliberately excluded: those crates
-/// reimplement external dependencies' documented APIs and are not part
-/// of the Flock protocol surface (the loom shim, for one, is all
-/// `SeqCst` by design).
-const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
-
-/// Paths (relative, prefix match) excluded from the scan.
-const EXCLUDE: &[&str] = &["crates/xtask"];
-
-const ALLOWLIST: &str = "orderings.allow";
+use xtask::lint::LintOpts;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: cargo xtask <audit-orderings> [--fix]");
+            eprintln!("usage: cargo xtask <lint|audit-orderings|loom> [args]");
             return ExitCode::FAILURE;
         }
     };
     match cmd {
-        "audit-orderings" => audit_orderings(rest.iter().any(|a| a == "--fix")),
-        "loom" => loom(rest),
+        "lint" => match LintOpts::parse(rest) {
+            Ok(opts) => xtask::lint::run(&opts),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                eprintln!("usage: cargo xtask lint [-D] [--fix-allow] [--rule <name>]");
+                ExitCode::FAILURE
+            }
+        },
+        "audit-orderings" => xtask::orderings::audit(rest.iter().any(|a| a == "--fix")),
+        "loom" => xtask::loom_suites(rest),
         other => {
-            eprintln!("xtask: unknown task `{other}` (expected `audit-orderings` or `loom`)");
+            eprintln!(
+                "xtask: unknown task `{other}` (expected `lint`, `audit-orderings`, or `loom`)"
+            );
             ExitCode::FAILURE
         }
     }
-}
-
-/// Every loom suite in the workspace: (package, test target).
-const LOOM_SUITES: &[(&str, &str)] = &[
-    ("flock-core", "loom_tcq"),
-    ("flock-fabric", "loom_cq"),
-];
-
-/// Run all loom model-checking suites with `--cfg loom`, forwarding
-/// `extra` to each test binary. Respects an existing `RUSTFLAGS` (so
-/// `LOOM_MAX_PREEMPTIONS`-style knobs and extra cfgs compose).
-fn loom(extra: &[String]) -> ExitCode {
-    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
-    if !rustflags.split_whitespace().any(|f| f == "--cfg=loom")
-        && !rustflags.contains("--cfg loom")
-    {
-        if !rustflags.is_empty() {
-            rustflags.push(' ');
-        }
-        rustflags.push_str("--cfg loom");
-    }
-    for (pkg, target) in LOOM_SUITES {
-        eprintln!("loom: {pkg} --test {target}");
-        let status = std::process::Command::new(env!("CARGO"))
-            .current_dir(workspace_root())
-            .env("RUSTFLAGS", &rustflags)
-            .args(["test", "-p", pkg, "--test", target, "--release", "--"])
-            .args(extra)
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("loom: {pkg} --test {target} FAILED ({s})");
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("loom: failed to spawn cargo: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    ExitCode::SUCCESS
-}
-
-/// One `Ordering::Variant` occurrence in the tree.
-#[derive(Debug)]
-struct Site {
-    key: String,
-    file: String,
-    line: usize,
-    snippet: String,
-}
-
-fn workspace_root() -> PathBuf {
-    // xtask lives at <root>/crates/xtask; CARGO_MANIFEST_DIR is compiled
-    // in, so the audit works from any cwd inside the workspace.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("xtask manifest has a workspace root two levels up")
-        .to_path_buf()
-}
-
-fn audit_orderings(fix: bool) -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    for scan in SCAN_ROOTS {
-        collect_rs_files(&root.join(scan), &root, &mut files);
-    }
-    files.sort();
-
-    let mut sites: Vec<Site> = Vec::new();
-    for rel in &files {
-        let text =
-            std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
-        scan_file(rel, &text, &mut sites);
-    }
-
-    let allow_path = root.join(ALLOWLIST);
-    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
-    let allow = parse_allowlist(&allow_text);
-
-    let mut failures = 0usize;
-    let mut missing: Vec<&Site> = Vec::new();
-    for site in &sites {
-        match allow.get(site.key.as_str()) {
-            None => {
-                eprintln!(
-                    "audit-orderings: UNJUSTIFIED {} ({}:{})\n    {}",
-                    site.key, site.file, site.line, site.snippet
-                );
-                missing.push(site);
-                failures += 1;
-            }
-            Some(just) if just.trim() == "TODO" => {
-                eprintln!(
-                    "audit-orderings: TODO justification for {} ({}:{})",
-                    site.key, site.file, site.line
-                );
-                failures += 1;
-            }
-            Some(_) => {}
-        }
-    }
-    for key in allow.keys() {
-        if !sites.iter().any(|s| s.key == *key) {
-            eprintln!("audit-orderings: STALE allowlist entry {key} (site no longer exists)");
-            failures += 1;
-        }
-    }
-
-    if fix && !missing.is_empty() {
-        let mut appended = String::new();
-        for site in &missing {
-            let _ = writeln!(appended, "{} = TODO", site.key);
-        }
-        let mut out = allow_text;
-        if !out.is_empty() && !out.ends_with('\n') {
-            out.push('\n');
-        }
-        out.push_str(&appended);
-        std::fs::write(&allow_path, out).expect("write allowlist");
-        eprintln!(
-            "audit-orderings: appended {} skeleton entries to {ALLOWLIST}",
-            missing.len()
-        );
-    }
-
-    if failures > 0 {
-        eprintln!(
-            "audit-orderings: FAILED with {failures} problem(s) across {} sites in {} files \
-             (allowlist: {ALLOWLIST})",
-            sites.len(),
-            files.len()
-        );
-        ExitCode::FAILURE
-    } else {
-        println!(
-            "audit-orderings: ok — {} ordering sites in {} files, all justified",
-            sites.len(),
-            files.len()
-        );
-        ExitCode::SUCCESS
-    }
-}
-
-fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let rel = path
-            .strip_prefix(root)
-            .expect("scanned path under root")
-            .to_string_lossy()
-            .replace('\\', "/");
-        if EXCLUDE.iter().any(|e| rel.starts_with(e)) {
-            continue;
-        }
-        if path.is_dir() {
-            collect_rs_files(&path, root, out);
-        } else if rel.ends_with(".rs") {
-            out.push(rel);
-        }
-    }
-}
-
-/// Extract `Ordering::Variant` sites from one file, keying each by the
-/// enclosing `fn` name and a per-(fn, variant) ordinal.
-fn scan_file(rel: &str, text: &str, sites: &mut Vec<Site>) {
-    // (fn-name, variant) -> next ordinal
-    let mut ordinals: BTreeMap<(String, String), usize> = BTreeMap::new();
-    let mut current_fn = String::from("(file)");
-    for (idx, line) in text.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if let Some(name) = fn_name(trimmed) {
-            current_fn = name;
-        }
-        let mut rest = line;
-        while let Some(pos) = rest.find("Ordering::") {
-            let after = &rest[pos + "Ordering::".len()..];
-            let variant: String = after
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric())
-                .collect();
-            rest = &after[variant.len()..];
-            if !matches!(
-                variant.as_str(),
-                "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
-            ) {
-                continue; // `cmp::Ordering::Less` and friends
-            }
-            let n = ordinals
-                .entry((current_fn.clone(), variant.clone()))
-                .or_insert(0);
-            *n += 1;
-            sites.push(Site {
-                key: format!("{rel}::{current_fn}::{variant}#{n}"),
-                file: rel.to_string(),
-                line: idx + 1,
-                snippet: line.trim().to_string(),
-            });
-        }
-    }
-}
-
-/// Pull a function name out of a (trimmed) line declaring one.
-fn fn_name(trimmed: &str) -> Option<String> {
-    let mut s = trimmed;
-    for prefix in [
-        "pub(crate) ",
-        "pub(super) ",
-        "pub ",
-        "const ",
-        "unsafe ",
-        "async ",
-    ] {
-        while let Some(r) = s.strip_prefix(prefix) {
-            s = r;
-        }
-    }
-    let r = s.strip_prefix("fn ")?;
-    let name: String = r
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
-}
-
-/// Parse `key = justification` lines; `#` starts a comment.
-fn parse_allowlist(text: &str) -> BTreeMap<&str, &str> {
-    let mut map = BTreeMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some((key, just)) = line.split_once(" = ") {
-            map.insert(key.trim(), just.trim());
-        }
-    }
-    map
 }

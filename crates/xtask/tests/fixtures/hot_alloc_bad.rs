@@ -1,0 +1,16 @@
+//! Seeded hot-path allocation violations: the entry point reaches a
+//! helper that allocates on every call.
+
+pub fn hot_entry(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        total += build_scratch(i);
+    }
+    total
+}
+
+fn build_scratch(i: usize) -> usize {
+    let v: Vec<usize> = Vec::with_capacity(i);
+    let s = format!("{i}");
+    v.capacity() + s.len()
+}

@@ -1,0 +1,14 @@
+//! Clean twin of `hot_alloc_bad.rs`: the entry point works entirely in
+//! borrowed buffers.
+
+pub fn hot_entry(buf: &mut [u8]) -> usize {
+    let mut total = 0;
+    for b in buf.iter() {
+        total += usize::from(*b);
+    }
+    scale(total)
+}
+
+fn scale(n: usize) -> usize {
+    n.saturating_mul(2)
+}

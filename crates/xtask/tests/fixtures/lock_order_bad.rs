@@ -1,0 +1,34 @@
+//! Seeded lock-order violation: three locks acquired pairwise in a
+//! ring (`alpha -> beta -> gamma -> alpha`), a classic 3-party
+//! deadlock.
+
+use parking_lot::Mutex;
+
+pub struct Shards {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+}
+
+impl Shards {
+    pub fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn bc(&self) {
+        let b = self.beta.lock();
+        let c = self.gamma.lock();
+        drop(c);
+        drop(b);
+    }
+
+    pub fn ca(&self) {
+        let c = self.gamma.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(c);
+    }
+}

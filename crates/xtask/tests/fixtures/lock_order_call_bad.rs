@@ -1,0 +1,32 @@
+//! Seeded interprocedural lock-order violation: neither fn acquires
+//! both locks directly — the opposing edge comes from a callee's
+//! may-acquire set.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+fn take_right(p: &Pair) {
+    let r = p.right.lock();
+    drop(r);
+}
+
+fn take_left(p: &Pair) {
+    let l = p.left.lock();
+    drop(l);
+}
+
+pub fn left_then_right(p: &Pair) {
+    let l = p.left.lock();
+    take_right(p);
+    drop(l);
+}
+
+pub fn right_then_left(p: &Pair) {
+    let r = p.right.lock();
+    take_left(p);
+    drop(r);
+}

@@ -1,0 +1,33 @@
+//! Clean twin of `lock_order_bad.rs`: the same three locks, but every
+//! multi-lock path respects the global order alpha < beta < gamma.
+
+use parking_lot::Mutex;
+
+pub struct Shards {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+}
+
+impl Shards {
+    pub fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn bc(&self) {
+        let b = self.beta.lock();
+        let c = self.gamma.lock();
+        drop(c);
+        drop(b);
+    }
+
+    pub fn ac(&self) {
+        let a = self.alpha.lock();
+        let c = self.gamma.lock();
+        drop(c);
+        drop(a);
+    }
+}

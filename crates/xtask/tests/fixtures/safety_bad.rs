@@ -1,0 +1,10 @@
+//! Seeded SAFETY violations: an unsafe block and an unsafe fn, neither
+//! carrying a `// SAFETY:` justification.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+//! Clean twin of `safety_bad.rs`: the same unsafe shapes, each with a
+//! `// SAFETY:` justification the audit accepts.
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: callers pass a non-empty slice, so `as_ptr` is in-bounds
+    // and aligned for `u8`.
+    unsafe { *v.as_ptr() }
+}
+
+// SAFETY: caller guarantees `p` is valid for reads of one byte.
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    // SAFETY: delegated to the fn contract above.
+    unsafe { *p }
+}
