@@ -1,0 +1,39 @@
+//! Connection-churn benchmark over the elastic control plane, emitting
+//! `BENCH_churn.json` (see EXPERIMENTS.md "Connection churn").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flock-bench --bin bench_churn -- \
+//!     [--quick] [--out PATH]
+//! ```
+//!
+//! Three deterministic virtual-time scenarios: a connect storm (cold vs
+//! warm time-to-first-RPC), steady traffic under connection churn (p99
+//! disturbance vs a no-churn baseline), and server scale-out (AQP-share
+//! migration when a sender departs). Two runs of the same configuration
+//! produce byte-identical output — CI diffs them.
+
+use flock_bench::churn::run_churn_suite;
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_churn.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_churn [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let json = run_churn_suite(quick, true);
+    std::fs::write(&out, &json).expect("write bench JSON");
+    eprintln!("bench_churn: wrote {out}");
+    print!("{json}");
+}

@@ -6,6 +6,7 @@
 //! `benches/micro.rs` holds Criterion microbenchmarks of the core data
 //! structures. See EXPERIMENTS.md for paper-vs-measured values.
 
+pub mod churn;
 pub mod scale;
 
 use std::sync::atomic::{AtomicBool, Ordering};

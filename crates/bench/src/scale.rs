@@ -119,8 +119,8 @@ pub fn run_point(p: ScalePoint, w: Workload) -> ScaleOutcome {
 
         let go = Arc::new(AtomicBool::new(false));
         let ready = Arc::new(AtomicUsize::new(0));
-        // (ops, latencies_ns, finish_ns) per client thread.
-        type ThreadResult = (u64, Vec<u64>, u64);
+        // (ops, latencies_ns, start_ns, finish_ns) per client thread.
+        type ThreadResult = (u64, Vec<u64>, u64, u64);
         let results: Arc<Mutex<Vec<ThreadResult>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut node_tasks = Vec::with_capacity(p.clients);
@@ -133,6 +133,10 @@ pub fn run_point(p: ScalePoint, w: Workload) -> ScaleOutcome {
                 let node = domain.add_node(&format!("scale-c{c}"));
                 let mut cfg = HandleConfig::default();
                 cfg.n_qps = p.n_qps;
+                // The sweep measures the steady-state data plane: every
+                // lane up front (connect cost falls outside the measured
+                // window), not the lazy-attach default.
+                cfg.eager_qps = true;
                 let handle = fl_connect(&domain, &node, "scale", cfg).expect("connect");
                 let fl_threads: Vec<_> = (0..p.threads_per_node)
                     .map(|_| handle.register_thread())
@@ -145,6 +149,7 @@ pub fn run_point(p: ScalePoint, w: Workload) -> ScaleOutcome {
                 for (i, t) in fl_threads.into_iter().enumerate() {
                     let results = Arc::clone(&results);
                     workers.push(clock::spawn(&format!("scale-w-{c}/{i}"), move || {
+                        let start = clock::now_ns();
                         let payload = vec![c as u8; w.payload];
                         let mut lats: Vec<u64> = Vec::with_capacity(w.reqs_per_thread as usize);
                         let mut ops = 0u64;
@@ -166,7 +171,10 @@ pub fn run_point(p: ScalePoint, w: Workload) -> ScaleOutcome {
                                 ops += 1;
                             }
                         }
-                        results.lock().unwrap().push((ops, lats, clock::now_ns()));
+                        results
+                            .lock()
+                            .unwrap()
+                            .push((ops, lats, start, clock::now_ns()));
                     }));
                 }
                 for h in workers {
@@ -179,7 +187,6 @@ pub fn run_point(p: ScalePoint, w: Workload) -> ScaleOutcome {
         while ready.load(Ordering::Acquire) < p.clients {
             clock::sleep_ns(10_000);
         }
-        let t0 = clock::now_ns();
         go.store(true, Ordering::Release);
         for h in node_tasks {
             let _ = h.join();
@@ -189,15 +196,23 @@ pub fn run_point(p: ScalePoint, w: Workload) -> ScaleOutcome {
         let active_qps = server.active_qps();
         server.shutdown(&domain);
 
+        // Window: first worker send to last worker finish. Client tasks
+        // carry their connection's control-plane charge (QP creation, MR
+        // registration) on their own clocks, so anchoring at the
+        // workers' start instants keeps setup cost out of the
+        // steady-state throughput figure — `bench_churn` measures it.
         let collected = std::mem::take(&mut *results.lock().unwrap());
         let mut total_ops = 0u64;
         let mut all_lat: Vec<u64> = Vec::new();
-        let mut t_end = t0;
-        for (ops, lats, finish) in collected {
+        let mut t0 = u64::MAX;
+        let mut t_end = 0u64;
+        for (ops, lats, start, finish) in collected {
             total_ops += ops;
             all_lat.extend(lats);
+            t0 = t0.min(start);
             t_end = t_end.max(finish);
         }
+        let t0 = if t0 == u64::MAX { t_end } else { t0 };
         all_lat.sort_unstable();
 
         // Last domain reference: dropping it stops and joins the NIC

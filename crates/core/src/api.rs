@@ -24,6 +24,13 @@ pub fn fl_connect(
     ConnectionHandle::connect(domain, node, server_name, cfg)
 }
 
+/// Gracefully close a connection: the server quiesces the sender out of
+/// its dispatch shards, its AQP share returns to the scheduler, and the
+/// client's QPs and rings recycle into the node's pools (`fl_disconnect`).
+pub fn fl_disconnect(handle: &mut ConnectionHandle) -> Result<()> {
+    handle.close()
+}
+
 /// Attach a memory region for one-sided operations (Table 2:
 /// `fl_attach_mreg`). Server side; returns the region index clients use.
 pub fn fl_attach_mreg(server: &FlockServer, len: usize) -> usize {

@@ -6,20 +6,23 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Sender};
 use flock_fabric::{
-    Access, CostModel, CqOpcode, MemoryRegion, Node, NodeId, RemoteAddr, SendWr, Sge, Transport,
-    WrId,
+    Access, CostModel, CqOpcode, MemoryRegion, Node, NodeId, Qp, RemoteAddr, SendWr, Sge,
+    Transport, WrId,
 };
 use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::credit::{CreditState, MedianWindow};
-use crate::domain::{ConnectRequest, FlockDomain, MemRegionInfo, RingInfo};
+use crate::domain::{
+    await_reply, AttachRequest, ConnectRequest, CtrlMsg, DetachRequest, FlockDomain, MemRegionInfo,
+    RingInfo,
+};
 use crate::error::{FlockError, Result};
 use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
 use crate::ring::{RingConsumer, RingLayout, RingProducer};
@@ -50,6 +53,17 @@ pub struct HandleConfig {
     pub signal_every: u64,
     /// Default timeout for blocking waits.
     pub timeout: Duration,
+    /// Materialize all `n_qps` lanes during `fl_connect` instead of
+    /// lazily on first use. Connection setup is control-plane bound
+    /// (QP creation + MR registration, Swift in PAPERS.md), so the
+    /// default gets to the first RPC after a single control QP and
+    /// attaches the remaining data lanes as threads land on them.
+    pub eager_qps: bool,
+    /// Threads the one-sided scratch region is sized for (its MR is
+    /// `mem_threads * MEM_SCRATCH` bytes, registered at connect — the
+    /// dominant MR-registration cost of the handle). Lower it for
+    /// connection-churn workloads that never issue one-sided ops.
+    pub mem_threads: usize,
 }
 
 impl Default for HandleConfig {
@@ -63,6 +77,8 @@ impl Default for HandleConfig {
             auto_thread_sched: true,
             signal_every: 64,
             timeout: Duration::from_secs(10),
+            eager_qps: false,
+            mem_threads: MAX_THREADS,
         }
     }
 }
@@ -187,13 +203,24 @@ pub(crate) struct ThreadCtx {
 
 /// Shared state behind a [`ConnectionHandle`].
 pub(crate) struct HandleInner {
-    #[allow(dead_code)] // keeps the node alive for the handle's lifetime
     node: Arc<Node>,
     #[allow(dead_code)]
     server_node: NodeId,
     sender_id: u32,
     cfg: HandleConfig,
-    qps: Vec<Arc<ClientQpCtx>>,
+    /// Control channel to the server (attach/detach after connect).
+    ctrl: Sender<CtrlMsg>,
+    /// QP lanes, a dense prefix of which is materialized: slot `i` is set
+    /// iff `i < lane_count`. Slots are write-once, so the send path reads
+    /// a lane with no lock at all.
+    lanes: Vec<OnceLock<Arc<ClientQpCtx>>>,
+    /// Materialized-lane count. Stored with `Release` *after* the slot is
+    /// set; readers `Acquire` it before touching `lanes[..count]`.
+    lane_count: AtomicUsize,
+    /// Single-flight guard for lane attach (a `Mutex` would be held
+    /// across the control-plane round trip, which virtual-time tasks must
+    /// never do — losers spin through the clock seam instead).
+    attach_busy: AtomicBool,
     threads: RwLock<Vec<Arc<ThreadCtx>>>,
     /// Registered-thread count mirror of `threads.len()` (lock-free read
     /// on the send hot path, see [`HandleInner::boarding_window`]).
@@ -206,9 +233,25 @@ pub(crate) struct HandleInner {
     /// charges are no-ops in threaded mode.
     cost: CostModel,
     stop: AtomicBool,
+    /// Resources returned to the node's QP pool / MR cache (graceful
+    /// close); guards against double release.
+    released: AtomicBool,
 }
 
 impl HandleInner {
+    /// The materialized lane at `idx` (must be `< lane_count`).
+    fn lane(&self, idx: usize) -> &Arc<ClientQpCtx> {
+        self.lanes[idx].get().expect("lane not materialized")
+    }
+
+    /// Iterate the materialized lanes (the dense prefix).
+    fn lanes_live(&self) -> impl Iterator<Item = &Arc<ClientQpCtx>> {
+        let n = self.lane_count.load(Ordering::Acquire);
+        self.lanes[..n]
+            .iter()
+            .map(|slot| slot.get().expect("dense lane prefix"))
+    }
+
     /// TCQ boarding window (see [`crate::tcq::Tcq::join_with`]): a leader
     /// yields once before collecting its batch so that concurrently
     /// sending threads land in *this* batch. On real hardware the
@@ -259,16 +302,19 @@ impl ConnectionHandle {
         cfg: HandleConfig,
     ) -> Result<ConnectionHandle> {
         assert!(cfg.n_qps >= 1);
-        let batch_limit = if cfg.coalescing { cfg.batch_limit } else { 1 };
+        assert!(cfg.mem_threads >= 1 && cfg.mem_threads <= MAX_THREADS);
+        let ctrl = domain.control(server_name)?;
 
-        // Create QPs and response rings.
-        let mut client_qps = Vec::with_capacity(cfg.n_qps);
-        let mut resp_mrs = Vec::with_capacity(cfg.n_qps);
-        let mut response_rings = Vec::with_capacity(cfg.n_qps);
-        for _ in 0..cfg.n_qps {
+        // Lease QPs and response rings for the eagerly-created lanes: all
+        // of them in eager mode, only lane 0 (the control QP) otherwise.
+        let init_lanes = if cfg.eager_qps { cfg.n_qps } else { 1 };
+        let mut client_qps = Vec::with_capacity(init_lanes);
+        let mut resp_mrs = Vec::with_capacity(init_lanes);
+        let mut response_rings = Vec::with_capacity(init_lanes);
+        for _ in 0..init_lanes {
             let cq = node.create_cq(256);
-            let qp = node.create_qp(Transport::Rc, &cq, &cq);
-            let resp_mr = node.register_mr(cfg.ring_capacity, Access::REMOTE_WRITE);
+            let qp = node.lease_qp(Transport::Rc, &cq, &cq);
+            let resp_mr = node.acquire_mr(cfg.ring_capacity, Access::REMOTE_WRITE);
             response_rings.push(RingInfo {
                 rkey: resp_mr.rkey(),
                 addr: resp_mr.addr(),
@@ -289,39 +335,31 @@ impl ConnectionHandle {
             },
         )?;
 
-        let mut qps = Vec::with_capacity(cfg.n_qps);
-        for (i, qp) in client_qps.into_iter().enumerate() {
-            let staging = node.register_mr(cfg.ring_capacity, Access::LOCAL);
-            let req_remote = reply.request_rings[i];
-            qps.push(Arc::new(ClientQpCtx {
-                index: i,
+        let mut lanes: Vec<OnceLock<Arc<ClientQpCtx>>> = Vec::with_capacity(cfg.n_qps);
+        lanes.resize_with(cfg.n_qps, OnceLock::new);
+        for (i, (qp, resp_mr)) in client_qps.into_iter().zip(resp_mrs).enumerate() {
+            let ctx = build_lane_ctx(
+                node,
+                &cfg,
+                i,
                 qp,
-                tcq: Tcq::new(batch_limit),
-                req_prod: Mutex::new(RingProducer::new(RingLayout::new(0, req_remote.capacity))),
-                req_remote,
-                staging,
-                server_head: AtomicU64::new(0),
-                resp_mr: Arc::clone(&resp_mrs[i]),
-                resp_cons: Mutex::new(RingConsumer::new(RingLayout::new(0, cfg.ring_capacity))),
-                resp_head_shared: AtomicU64::new(0),
-                credits: Mutex::new(CreditState::new(reply.initial_credits)),
-                credit_cond: Condvar::new(),
-                degree: Mutex::new(MedianWindow::new(64)),
-                active: AtomicBool::new(true),
-                canary_seq: AtomicU64::new(0),
-                write_count: AtomicU64::new(0),
-                messages_sent: AtomicU64::new(0),
-                requests_sent: AtomicU64::new(0),
-            }));
+                resp_mr,
+                reply.request_rings[i],
+                reply.initial_credits,
+            );
+            lanes[i].set(ctx).ok().expect("fresh lane slot");
         }
 
-        let mem_mr = node.register_mr(MAX_THREADS * MEM_SCRATCH, Access::LOCAL);
+        let mem_mr = node.acquire_mr(cfg.mem_threads * MEM_SCRATCH, Access::LOCAL);
         let inner = Arc::new(HandleInner {
             node: Arc::clone(node),
             server_node: reply.server_node,
             sender_id: reply.sender_id,
             cfg: cfg.clone(),
-            qps,
+            ctrl,
+            lanes,
+            lane_count: AtomicUsize::new(init_lanes),
+            attach_busy: AtomicBool::new(false),
             threads: RwLock::new(Vec::new()),
             thread_count: AtomicUsize::new(0),
             mem_regions: reply.memory_regions,
@@ -329,6 +367,7 @@ impl ConnectionHandle {
             mem_wr_seq: AtomicU64::new(1),
             cost: domain.fabric().config().cost.clone(),
             stop: AtomicBool::new(false),
+            released: AtomicBool::new(false),
         });
 
         let dispatcher = {
@@ -362,49 +401,75 @@ impl ConnectionHandle {
     }
 
     /// Register the calling application thread; returns its `FlThread`.
+    ///
+    /// First use of a not-yet-materialized QP lane happens here: the
+    /// thread's round-robin lane (`id % n_qps`) is attached through the
+    /// control channel on demand (lazy QP creation — `fl_connect` paid
+    /// for one control QP only). If the attach fails, the thread falls
+    /// back onto an existing lane instead of failing registration.
     pub fn register_thread(&self) -> FlThread {
-        let mut threads = self.inner.threads.write();
-        let id = threads.len() as u32;
-        assert!((id as usize) < MAX_THREADS, "too many registered threads");
-        let initial_qp = id as usize % self.inner.qps.len();
-        let ctx = Arc::new(ThreadCtx {
-            id,
-            next_seq: AtomicU64::new(1),
-            outstanding: AtomicU64::new(0),
-            current_qp: AtomicUsize::new(initial_qp),
-            target_qp: AtomicUsize::new(initial_qp),
-            inbox: Mutex::new(HashMap::new()),
-            inbox_cond: Condvar::new(),
-            req_sizes: Mutex::new(MedianWindow::new(64)),
-            bytes: AtomicU64::new(0),
-            reqs: AtomicU64::new(0),
-            mem_pending: Mutex::new(HashMap::new()),
-            mem_results: Mutex::new(HashMap::new()),
-            mem_cond: Condvar::new(),
-            mem_free: Mutex::new(0xFF),
-        });
-        threads.push(Arc::clone(&ctx));
-        self.inner
-            .thread_count
-            .store(threads.len(), Ordering::Relaxed);
+        let ctx = {
+            let mut threads = self.inner.threads.write();
+            let id = threads.len() as u32;
+            assert!((id as usize) < MAX_THREADS, "too many registered threads");
+            assert!(
+                (id as usize) < self.inner.cfg.mem_threads,
+                "more threads than cfg.mem_threads scratch slots"
+            );
+            let ctx = Arc::new(ThreadCtx {
+                id,
+                next_seq: AtomicU64::new(1),
+                outstanding: AtomicU64::new(0),
+                current_qp: AtomicUsize::new(0),
+                target_qp: AtomicUsize::new(0),
+                inbox: Mutex::new(HashMap::new()),
+                inbox_cond: Condvar::new(),
+                req_sizes: Mutex::new(MedianWindow::new(64)),
+                bytes: AtomicU64::new(0),
+                reqs: AtomicU64::new(0),
+                mem_pending: Mutex::new(HashMap::new()),
+                mem_results: Mutex::new(HashMap::new()),
+                mem_cond: Condvar::new(),
+                mem_free: Mutex::new(0xFF),
+            });
+            threads.push(Arc::clone(&ctx));
+            self.inner
+                .thread_count
+                .store(threads.len(), Ordering::Relaxed);
+            ctx
+        };
+        // Outside the `threads` lock: the attach blocks on a control-plane
+        // round trip, and the dispatcher reads `threads` on its hot path.
+        let wanted = ctx.id as usize % self.inner.cfg.n_qps;
+        let lane = match ensure_lanes(&self.inner, wanted) {
+            Ok(()) => wanted,
+            Err(_) => ctx.id as usize % self.inner.lane_count.load(Ordering::Acquire).max(1),
+        };
+        ctx.current_qp.store(lane, Ordering::Relaxed);
+        ctx.target_qp.store(lane, Ordering::Relaxed);
         FlThread {
             ctx,
             inner: Arc::clone(&self.inner),
         }
     }
 
-    /// Number of QPs currently marked active by the server's scheduler.
+    /// Number of QPs currently marked active by the server's scheduler
+    /// (unmaterialized lanes are not active — they do not exist yet).
     pub fn active_qps(&self) -> usize {
         self.inner
-            .qps
-            .iter()
+            .lanes_live()
             .filter(|q| q.active.load(Ordering::Relaxed))
             .count()
     }
 
+    /// Number of lanes actually materialized so far (≤ `cfg.n_qps`).
+    pub fn materialized_qps(&self) -> usize {
+        self.inner.lane_count.load(Ordering::Acquire)
+    }
+
     /// Mean coalescing degree observed across this handle's QPs.
     pub fn mean_coalescing_degree(&self) -> f64 {
-        let (reqs, msgs) = self.inner.qps.iter().fold((0u64, 0u64), |(r, m), q| {
+        let (reqs, msgs) = self.inner.lanes_live().fold((0u64, 0u64), |(r, m), q| {
             (
                 r + q.requests_sent.load(Ordering::Relaxed),
                 m + q.messages_sent.load(Ordering::Relaxed),
@@ -418,11 +483,12 @@ impl ConnectionHandle {
     }
 
     /// Snapshot the handle's counters (observability; cheap, lock-light).
+    /// `per_qp` always has `cfg.n_qps` entries; lanes not yet
+    /// materialized report zeros and `active: false`.
     pub fn metrics(&self) -> HandleMetrics {
-        let per_qp: Vec<QpMetrics> = self
+        let mut per_qp: Vec<QpMetrics> = self
             .inner
-            .qps
-            .iter()
+            .lanes_live()
             .map(|q| QpMetrics {
                 messages: q.messages_sent.load(Ordering::Relaxed),
                 requests: q.requests_sent.load(Ordering::Relaxed),
@@ -430,6 +496,15 @@ impl ConnectionHandle {
                 active: q.active.load(Ordering::Relaxed),
             })
             .collect();
+        per_qp.resize(
+            self.inner.cfg.n_qps,
+            QpMetrics {
+                messages: 0,
+                requests: 0,
+                credits: 0,
+                active: false,
+            },
+        );
         let messages: u64 = per_qp.iter().map(|q| q.messages).sum();
         let requests: u64 = per_qp.iter().map(|q| q.requests).sum();
         HandleMetrics {
@@ -449,7 +524,7 @@ impl ConnectionHandle {
     /// Shut down the handle's background threads.
     pub fn shutdown(&mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        for qp in &self.inner.qps {
+        for qp in self.inner.lanes_live() {
             qp.credit_cond.notify_all();
         }
         if let Some(h) = self.dispatcher.take() {
@@ -458,6 +533,45 @@ impl ConnectionHandle {
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
         }
+    }
+
+    /// Gracefully close the connection (`fl_disconnect`).
+    ///
+    /// Tells the server to quiesce this sender — its QPs leave the
+    /// dispatch shards and its AQP share returns to the scheduler —
+    /// waits for the acknowledgement, stops the handle's background
+    /// tasks, and returns every leased QP and cached MR to the node's
+    /// pools. The caller should have drained outstanding requests; any
+    /// still in flight are dropped by the QP epoch guard.
+    pub fn close(&mut self) -> Result<()> {
+        // Graceful detach first, while the dispatcher still runs (the
+        // server replies only after its shards stopped touching us).
+        let detach = if self.inner.stop.load(Ordering::Relaxed) {
+            Err(FlockError::Disconnected)
+        } else {
+            let (reply_tx, reply_rx) = bounded(1);
+            self.inner
+                .ctrl
+                .send(CtrlMsg::Detach(DetachRequest {
+                    sender_id: self.inner.sender_id,
+                    reply: reply_tx,
+                }))
+                .map_err(|_| FlockError::Disconnected)
+                .and_then(|()| await_reply(&reply_rx))
+        };
+        self.shutdown();
+        // Recycle: QPs back to the node's pool (reset, not destroyed),
+        // rings and scratch back to the MR cache. Guarded so a second
+        // `close` cannot double-insert into the pool.
+        if !self.inner.released.swap(true, Ordering::AcqRel) {
+            for lane in self.inner.lanes_live() {
+                self.inner.node.release_qp(&lane.qp);
+                self.inner.node.release_mr(&lane.resp_mr);
+                self.inner.node.release_mr(&lane.staging);
+            }
+            self.inner.node.release_mr(&self.inner.mem_mr);
+        }
+        detach
     }
 }
 
@@ -498,7 +612,7 @@ impl FlThread {
             return Err(FlockError::Disconnected);
         }
         let qp_idx = self.migrate_if_idle();
-        let qp = &inner.qps[qp_idx];
+        let qp = inner.lane(qp_idx);
         let seq = self.ctx.next_seq.fetch_add(1, Ordering::Relaxed);
         self.ctx.outstanding.fetch_add(1, Ordering::Relaxed);
         self.ctx.req_sizes.lock().record(payload.len() as u32);
@@ -750,7 +864,7 @@ impl FlThread {
         result_len: usize,
     ) -> Result<MemToken> {
         let qp_idx = self.migrate_if_idle();
-        let qp = &self.inner.qps[qp_idx];
+        let qp = self.inner.lane(qp_idx);
         let wr_seq = self.inner.mem_wr_seq.fetch_add(1, Ordering::Relaxed);
         let wr_id = ((self.ctx.id as u64) << 32) | (wr_seq & 0xFFFF_FFFF);
         wr.wr_id = WrId(wr_id);
@@ -896,6 +1010,120 @@ impl FlThread {
         }
         current
     }
+}
+
+/// Build one lane's client-side context around a leased QP and its
+/// cached-MR rings.
+fn build_lane_ctx(
+    node: &Arc<Node>,
+    cfg: &HandleConfig,
+    index: usize,
+    qp: Arc<Qp>,
+    resp_mr: Arc<MemoryRegion>,
+    req_remote: RingInfo,
+    initial_credits: u32,
+) -> Arc<ClientQpCtx> {
+    let batch_limit = if cfg.coalescing { cfg.batch_limit } else { 1 };
+    let staging = node.acquire_mr(cfg.ring_capacity, Access::LOCAL);
+    Arc::new(ClientQpCtx {
+        index,
+        qp,
+        tcq: Tcq::new(batch_limit),
+        req_prod: Mutex::new(RingProducer::new(RingLayout::new(0, req_remote.capacity))),
+        req_remote,
+        staging,
+        server_head: AtomicU64::new(0),
+        resp_mr,
+        resp_cons: Mutex::new(RingConsumer::new(RingLayout::new(0, cfg.ring_capacity))),
+        resp_head_shared: AtomicU64::new(0),
+        credits: Mutex::new(CreditState::new(initial_credits)),
+        credit_cond: Condvar::new(),
+        degree: Mutex::new(MedianWindow::new(64)),
+        active: AtomicBool::new(true),
+        canary_seq: AtomicU64::new(0),
+        write_count: AtomicU64::new(0),
+        messages_sent: AtomicU64::new(0),
+        requests_sent: AtomicU64::new(0),
+    })
+}
+
+/// Materialize lanes up to and including `want_idx` (clamped to
+/// `n_qps - 1`). Lanes attach densely in index order; concurrent callers
+/// single-flight through `attach_busy`, spinning via the clock seam
+/// rather than holding a lock across the control-plane round trip.
+fn ensure_lanes(inner: &Arc<HandleInner>, want_idx: usize) -> Result<()> {
+    let want = (want_idx + 1).min(inner.cfg.n_qps);
+    loop {
+        if inner.lane_count.load(Ordering::Acquire) >= want {
+            return Ok(());
+        }
+        if inner.stop.load(Ordering::Relaxed) {
+            return Err(FlockError::Disconnected);
+        }
+        if inner
+            .attach_busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            let mut result = Ok(());
+            while inner.lane_count.load(Ordering::Relaxed) < want {
+                result = attach_one_lane(inner);
+                if result.is_err() {
+                    break;
+                }
+            }
+            inner.attach_busy.store(false, Ordering::Release);
+            return result;
+        }
+        clock::yield_now();
+    }
+}
+
+/// Attach the next lane: lease a QP and a cached response ring locally,
+/// round-trip the control channel, and publish the materialized lane.
+/// Caller holds the `attach_busy` single-flight flag.
+fn attach_one_lane(inner: &Arc<HandleInner>) -> Result<()> {
+    let idx = inner.lane_count.load(Ordering::Relaxed);
+    let cq = inner.node.create_cq(256);
+    let qp = inner.node.lease_qp(Transport::Rc, &cq, &cq);
+    let resp_mr = inner.node.acquire_mr(inner.cfg.ring_capacity, Access::REMOTE_WRITE);
+    let (reply_tx, reply_rx) = bounded(1);
+    let sent = inner
+        .ctrl
+        .send(CtrlMsg::Attach(AttachRequest {
+            sender_id: inner.sender_id,
+            lane: idx,
+            client_qp: Arc::clone(&qp),
+            response_ring: RingInfo {
+                rkey: resp_mr.rkey(),
+                addr: resp_mr.addr(),
+                capacity: inner.cfg.ring_capacity,
+            },
+            reply: reply_tx,
+        }))
+        .map_err(|_| FlockError::Disconnected)
+        .and_then(|()| await_reply(&reply_rx));
+    let reply = match sent {
+        Ok(r) => r,
+        Err(e) => {
+            // The lane never went live: recycle its resources.
+            inner.node.release_qp(&qp);
+            inner.node.release_mr(&resp_mr);
+            return Err(e);
+        }
+    };
+    let ctx = build_lane_ctx(
+        &inner.node,
+        &inner.cfg,
+        idx,
+        qp,
+        resp_mr,
+        reply.request_ring,
+        reply.initial_credits,
+    );
+    inner.lanes[idx].set(ctx).ok().expect("attach single-flight");
+    inner.lane_count.store(idx + 1, Ordering::Release);
+    Ok(())
 }
 
 /// Leader-side flush scratch, reused across batches by each thread: any
@@ -1169,7 +1397,7 @@ fn dispatcher_loop(inner: &HandleInner) {
         flock_sync::AdaptiveBackoff::new(Duration::from_micros(100)).with_virtual_cap(1_000);
     while !inner.stop.load(Ordering::Relaxed) {
         let mut progressed = false;
-        for qp in &inner.qps {
+        for qp in inner.lanes_live() {
             // Send-CQ: one-sided completions and (rare) ring-write errors.
             drained.clear();
             if qp.qp.send_cq().poll(&mut drained, usize::MAX) > 0 {
@@ -1287,8 +1515,7 @@ fn scheduler_loop(inner: &HandleInner) {
 /// One scheduling pass; factored out for tests and ablations.
 pub(crate) fn run_thread_scheduling(inner: &HandleInner) {
     let active: Vec<usize> = inner
-        .qps
-        .iter()
+        .lanes_live()
         .filter(|q| q.active.load(Ordering::Relaxed))
         .map(|q| q.index)
         .collect();

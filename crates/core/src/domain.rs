@@ -8,9 +8,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use flock_fabric::{Fabric, FabricConfig, Node, NodeId, Qp, QpNum, Rkey};
+use flock_sync::AdaptiveBackoff;
 use parking_lot::Mutex;
 
 use crate::error::{FlockError, Result};
@@ -67,10 +69,61 @@ pub struct ConnectReply {
     pub sender_id: u32,
 }
 
+/// Request to materialize one additional data lane on an existing
+/// connection (lazy QP creation: `fl_connect` came back after a single
+/// control QP; the remaining lanes attach on first use).
+pub struct AttachRequest {
+    /// The sender id the server assigned at connect time.
+    pub sender_id: u32,
+    /// The lane index being materialized (dense, `1..n_qps`).
+    pub lane: usize,
+    /// The client's freshly leased QP for this lane.
+    pub client_qp: Arc<Qp>,
+    /// Response ring on the client for this lane.
+    pub response_ring: RingInfo,
+    /// Channel for the server's reply.
+    pub reply: Sender<Result<AttachReply>>,
+}
+
+/// Server's reply to an [`AttachRequest`].
+#[derive(Debug, Clone)]
+pub struct AttachReply {
+    /// The server QP paired with the new client lane.
+    pub server_qp: QpNum,
+    /// Request ring on the server for this lane.
+    pub request_ring: RingInfo,
+    /// Bootstrap credits for the lane.
+    pub initial_credits: u32,
+}
+
+/// Request to gracefully tear a connection down. The server quiesces
+/// the departing sender's QPs out of its dispatch shards before
+/// replying, so the client can recycle its resources immediately.
+pub struct DetachRequest {
+    /// The sender id being detached.
+    pub sender_id: u32,
+    /// Channel for the server's acknowledgement.
+    pub reply: Sender<Result<()>>,
+}
+
+/// A control-plane message carried over a server's listener channel.
+///
+/// Real deployments multiplex connection setup, lane attach, and
+/// teardown over one out-of-band TCP session; this enum is that
+/// session's wire format.
+pub enum CtrlMsg {
+    /// Full connection handshake.
+    Connect(ConnectRequest),
+    /// Materialize one more data lane on a live connection.
+    Attach(AttachRequest),
+    /// Graceful teardown of a live connection.
+    Detach(DetachRequest),
+}
+
 /// The in-process "datacenter": a fabric plus a server name registry.
 pub struct FlockDomain {
     fabric: Fabric,
-    listeners: Mutex<HashMap<String, Sender<ConnectRequest>>>,
+    listeners: Mutex<HashMap<String, Sender<CtrlMsg>>>,
 }
 
 impl FlockDomain {
@@ -99,7 +152,7 @@ impl FlockDomain {
 
     /// Register a listening server under `name`. Returns the receive side
     /// via the provided channel capacity.
-    pub(crate) fn register_listener(&self, name: &str, tx: Sender<ConnectRequest>) {
+    pub(crate) fn register_listener(&self, name: &str, tx: Sender<CtrlMsg>) {
         self.listeners.lock().insert(name.to_string(), tx);
     }
 
@@ -108,40 +161,56 @@ impl FlockDomain {
         self.listeners.lock().remove(name);
     }
 
+    /// Look up the control channel of the named server. Clients hold on
+    /// to this for the lifetime of a connection so later attach/detach
+    /// messages skip the registry.
+    pub(crate) fn control(&self, name: &str) -> Result<Sender<CtrlMsg>> {
+        self.listeners
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FlockError::UnknownRemote(name.to_string()))
+    }
+
     /// Send a connection request to the named server and await the reply.
     ///
     /// Public so alternative clients (e.g., the FaRM-style baseline) can
     /// perform the same handshake against a Flock server.
     pub fn dial(&self, name: &str, req: ConnectRequest) -> Result<ConnectReply> {
-        let tx = self
-            .listeners
-            .lock()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| FlockError::UnknownRemote(name.to_string()))?;
+        let tx = self.control(name)?;
         let (reply_tx, reply_rx) = bounded(1);
         let req = ConnectRequest {
             reply: reply_tx,
             ..req
         };
-        tx.send(req).map_err(|_| FlockError::Disconnected)?;
-        if flock_sync::clock::is_virtual() {
-            // Poll in virtual time: a blocking recv would park the one OS
-            // thread holding the serialized lab's core.
-            loop {
-                match reply_rx.try_recv() {
-                    Ok(reply) => return reply,
-                    Err(crossbeam::channel::TryRecvError::Empty) => {
-                        flock_sync::clock::sleep_ns(1_000);
-                    }
-                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                        return Err(FlockError::Disconnected);
-                    }
+        tx.send(CtrlMsg::Connect(req))
+            .map_err(|_| FlockError::Disconnected)?;
+        await_reply(&reply_rx)
+    }
+}
+
+/// Await a control-plane reply without parking the virtual-time
+/// executor's one OS thread.
+///
+/// The wall path blocks on the channel. The virtual path polls through
+/// an [`AdaptiveBackoff`] ladder: a connect storm runs hundreds of
+/// dialers concurrently, and a fixed fine-grained poll period would
+/// multiply the event count by the storm width while a reply is still
+/// tens of microseconds of control-QP work away.
+pub(crate) fn await_reply<T>(rx: &Receiver<Result<T>>) -> Result<T> {
+    if flock_sync::clock::is_virtual() {
+        let mut idle = AdaptiveBackoff::new(Duration::from_micros(50)).with_virtual_cap(50_000);
+        loop {
+            match rx.try_recv() {
+                Ok(reply) => return reply,
+                Err(crossbeam::channel::TryRecvError::Empty) => idle.idle(),
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    return Err(FlockError::Disconnected);
                 }
             }
         }
-        reply_rx.recv().map_err(|_| FlockError::Disconnected)?
     }
+    rx.recv().map_err(|_| FlockError::Disconnected)?
 }
 
 #[cfg(test)]
@@ -190,12 +259,14 @@ mod tests {
                         reply: reply_tx,
                         ..req
                     };
-                    tx2.send(req).unwrap();
+                    tx2.send(CtrlMsg::Connect(req)).unwrap();
                     reply_rx.recv().unwrap()
                 }
             })
         };
-        let req = rx.recv().unwrap();
+        let CtrlMsg::Connect(req) = rx.recv().unwrap() else {
+            panic!("expected a connect");
+        };
         req.reply
             .send(Ok(ConnectReply {
                 server_node: NodeId(0),

@@ -118,6 +118,38 @@ impl QpScheduler {
         );
     }
 
+    /// Remove a departing sender, releasing its whole AQP share
+    /// immediately (graceful teardown — the budget becomes available to
+    /// the next redistribution without waiting for the sender to go
+    /// dormant). Returns the QP indices that were active, so the caller
+    /// can tear down their server-side contexts.
+    pub fn unregister_sender(&mut self, sender: u32) -> Vec<usize> {
+        match self.senders.remove(&sender) {
+            Some(s) => s
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a)
+                .map(|(qp, _)| qp)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Grow a sender by one lane (lazy QP materialization: the client
+    /// attached a data QP after connecting). The new lane starts active
+    /// when the global budget allows — it is about to carry traffic —
+    /// and inactive otherwise (the next redistribution arbitrates).
+    /// Returns the new lane's index, or `None` for unknown senders.
+    pub fn add_qp(&mut self, sender: u32) -> Option<usize> {
+        let used: usize = self.senders.values().map(|s| s.active_count()).sum();
+        let state = self.senders.get_mut(&sender)?;
+        let qp = state.util.len();
+        state.util.push(0);
+        state.active.push(used < self.cfg.max_aqp);
+        Some(qp)
+    }
+
     /// Whether `qp` of `sender` is currently active.
     pub fn is_active(&self, sq: SenderQp) -> bool {
         self.senders
@@ -344,5 +376,44 @@ mod tests {
         let mut s = QpScheduler::new(cfg(4));
         assert_eq!(s.on_credit_request(SenderQp { sender: 9, qp: 0 }, 1), None);
         assert!(!s.is_active(SenderQp { sender: 9, qp: 0 }));
+    }
+
+    #[test]
+    fn unregister_releases_share_immediately() {
+        let mut s = QpScheduler::new(cfg(8));
+        s.register_sender(0, 8); // takes all 8
+        s.register_sender(1, 8); // average-clamped slice
+        let freed = s.unregister_sender(0);
+        assert_eq!(freed.len(), 8, "all of sender 0's lanes were active");
+        assert!(s.active_map(0).is_none());
+        // The freed budget flows to the survivor on the next interval.
+        s.on_credit_request(SenderQp { sender: 1, qp: 0 }, 4);
+        s.redistribute();
+        let a1 = s.active_map(1).unwrap().iter().filter(|a| **a).count();
+        assert_eq!(a1, 8);
+        // Unregistering twice (or an unknown sender) is harmless.
+        assert!(s.unregister_sender(0).is_empty());
+        assert!(s.unregister_sender(42).is_empty());
+    }
+
+    #[test]
+    fn add_qp_grows_a_sender_within_budget() {
+        let mut s = QpScheduler::new(cfg(8));
+        s.register_sender(0, 2);
+        assert_eq!(s.total_active(), 2);
+        // Budget has room: the lazily attached lane starts active.
+        assert_eq!(s.add_qp(0), Some(2));
+        assert!(s.is_active(SenderQp { sender: 0, qp: 2 }));
+        assert_eq!(s.total_active(), 3);
+        assert_eq!(s.add_qp(42), None, "unknown sender");
+    }
+
+    #[test]
+    fn add_qp_beyond_budget_starts_inactive() {
+        let mut s = QpScheduler::new(cfg(2));
+        s.register_sender(0, 2); // saturates max_aqp
+        assert_eq!(s.add_qp(0), Some(2));
+        assert!(!s.is_active(SenderQp { sender: 0, qp: 2 }));
+        assert_eq!(s.total_active(), 2);
     }
 }

@@ -10,13 +10,16 @@ use std::time::Duration;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use flock_fabric::{
-    Access, CostModel, CqOpcode, MemoryRegion, Node, NodeId, Qp, RecvWr, RemoteAddr, SendWr, Sge,
-    Transport, WrId,
+    Access, CompletionQueue, CostModel, CqOpcode, MemoryRegion, Node, NodeId, Qp, RecvWr,
+    RemoteAddr, SendWr, Sge, Transport, WrId,
 };
 use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Mutex, RwLock};
 
-use crate::domain::{ConnectReply, ConnectRequest, FlockDomain, MemRegionInfo, RingInfo};
+use crate::domain::{
+    AttachReply, AttachRequest, ConnectReply, ConnectRequest, CtrlMsg, FlockDomain,
+    MemRegionInfo, RingInfo,
+};
 use crate::error::{FlockError, Result};
 use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
 use crate::ring::{RingConsumer, RingLayout, RingProducer};
@@ -102,6 +105,11 @@ struct ServerQpCtx {
     staging: Arc<MemoryRegion>,
     /// Client's response-ring consumed head (piggybacked on requests).
     client_resp_head: AtomicU64,
+    /// Our request-ring consumed head as of the last successful
+    /// `flush_response` (any kind — every response message piggybacks
+    /// it). Lets the dispatcher skip redundant zero-entry head-only
+    /// writes while the client is not actually short of ring space.
+    last_flushed_head: AtomicU64,
     write_count: AtomicU64,
     canary_seq: AtomicU64,
     /// Mirror of the QP scheduler's active bit (updated on
@@ -123,7 +131,17 @@ struct ServerConn {
     sender_id: u32,
     #[allow(dead_code)]
     client_node: NodeId,
-    qps: Vec<ServerQpCtx>,
+    /// Send CQ shared by this connection's QPs (drained once per
+    /// dispatcher sweep).
+    send_cq: Arc<CompletionQueue>,
+    /// The connection's QP lanes. Behind a lock because lanes attach
+    /// lazily (`CtrlMsg::Attach`) and leave in one batch at detach;
+    /// dispatchers never take it on the hot path — they clone the list
+    /// into their generation-stamped partition snapshot.
+    qps: RwLock<Vec<Arc<ServerQpCtx>>>,
+    /// Graceful-teardown tombstone: a departed connection stays in the
+    /// `conns` slot (indices are stable) but leaves every snapshot.
+    departed: AtomicBool,
 }
 
 /// Aggregate server statistics.
@@ -137,6 +155,9 @@ pub struct ServerStats {
     pub grants: AtomicU64,
     /// Credit renewals declined.
     pub declines: AtomicU64,
+    /// Redundant head-only response writes elided because the client's
+    /// view of the consumed head was still fresh (within a quarter ring).
+    pub head_flushes_skipped: AtomicU64,
 }
 
 impl ServerStats {
@@ -159,6 +180,11 @@ struct ServerInner {
     /// virtual-time executor. Charges are no-ops in threaded mode.
     cost: CostModel,
     handlers: RwLock<HashMap<u32, Handler>>,
+    /// Handler-table generation: bumped (under the write lock) on every
+    /// registration so dispatchers refresh their handler snapshot only
+    /// when it actually changed, instead of taking the read lock per
+    /// polled message.
+    handlers_gen: AtomicU64,
     conns: RwLock<Vec<Arc<ServerConn>>>,
     /// Connection → dispatcher-worker assignment, indexed by connection
     /// slot. Seeded round-robin at accept time and rebalanced by the QP
@@ -169,6 +195,13 @@ struct ServerInner {
     /// changes; lets each dispatcher cache its partition snapshot
     /// instead of re-reading the shared tables on every sweep.
     topo_gen: AtomicU64,
+    /// Quiescence acknowledgements: `dispatch_acks[w]` is the latest
+    /// topology generation worker `w` has folded into its partition
+    /// snapshot. Graceful teardown publishes a new generation and waits
+    /// for every worker's ack before recycling the departing
+    /// connection's QPs and rings — the only point where teardown
+    /// synchronizes with dispatch, and it blocks only the control plane.
+    dispatch_acks: Vec<AtomicU64>,
     qpn_map: RwLock<HashMap<u32, (usize, usize)>>,
     qp_sched: Mutex<QpScheduler>,
     mem_mrs: RwLock<Vec<Arc<MemoryRegion>>>,
@@ -202,9 +235,13 @@ impl FlockServer {
             cfg: cfg.clone(),
             cost: domain.fabric().config().cost.clone(),
             handlers: RwLock::new(HashMap::new()),
+            handlers_gen: AtomicU64::new(0),
             conns: RwLock::new(Vec::new()),
             dispatch_assign: RwLock::new(Vec::new()),
             topo_gen: AtomicU64::new(0),
+            dispatch_acks: (0..cfg.dispatch_threads.max(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             qpn_map: RwLock::new(HashMap::new()),
             qp_sched: Mutex::new(QpScheduler::new(cfg.sched.clone())),
             mem_mrs: RwLock::new(Vec::new()),
@@ -215,7 +252,7 @@ impl FlockServer {
             stop: AtomicBool::new(false),
         });
 
-        let (accept_tx, accept_rx) = unbounded::<ConnectRequest>();
+        let (accept_tx, accept_rx) = unbounded::<CtrlMsg>();
         domain.register_listener(name, accept_tx);
 
         let mut threads = Vec::new();
@@ -248,7 +285,11 @@ impl FlockServer {
 
     /// Register the handler for `rpc_id` (`fl_reg_handler`).
     pub fn reg_handler(&self, rpc_id: u32, f: impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static) {
-        self.inner.handlers.write().insert(rpc_id, Arc::new(f));
+        let mut handlers = self.inner.handlers.write();
+        handlers.insert(rpc_id, Arc::new(f));
+        // Publish under the write lock: a dispatcher that observes the
+        // new generation and re-reads the table sees the registration.
+        self.inner.handlers_gen.fetch_add(1, Ordering::Release);
     }
 
     /// Register a memory region of `len` bytes for one-sided operations
@@ -291,9 +332,15 @@ impl FlockServer {
     /// Respond to a request obtained via [`FlockServer::recv_rpc`]
     /// (`fl_send_res`).
     pub fn send_res(&self, token: RpcToken, data: &[u8]) -> Result<()> {
-        let conns = self.inner.conns.read();
-        let conn = conns.get(token.conn).ok_or(FlockError::Disconnected)?;
-        let qp = conn.qps.get(token.qp).ok_or(FlockError::Disconnected)?;
+        let qp = {
+            let conns = self.inner.conns.read();
+            let conn = conns.get(token.conn).ok_or(FlockError::Disconnected)?;
+            if conn.departed.load(Ordering::Relaxed) {
+                return Err(FlockError::Disconnected);
+            }
+            let qp = conn.qps.read().get(token.qp).cloned();
+            qp.ok_or(FlockError::Disconnected)?
+        };
         let meta = EntryMeta {
             len: data.len() as u32,
             rpc_id: 0,
@@ -301,7 +348,7 @@ impl FlockServer {
         };
         // `flush_response` is generic over the payload, so the response
         // bytes go straight from the caller's slice into the staging ring.
-        flush_response(&self.inner, qp, &[(meta, data)], 0, 0)
+        flush_response(&self.inner, &qp, &[(meta, data)], 0, 0)
     }
 
     /// Server statistics.
@@ -324,15 +371,16 @@ impl FlockServer {
     }
 }
 
-/// Accept loop: performs the connection handshake (paper §3's
-/// `fl_connect` server side).
-fn accept_loop(inner: &Arc<ServerInner>, rx: Receiver<ConnectRequest>) {
+/// Control-plane loop: connection handshakes (paper §3's `fl_connect`
+/// server side), lazy lane attach, and graceful detach — the server end
+/// of the out-of-band control channel.
+fn accept_loop(inner: &Arc<ServerInner>, rx: Receiver<CtrlMsg>) {
     let virt = clock::is_virtual();
     while !inner.stop.load(Ordering::Relaxed) {
-        let req = if virt {
+        let msg = if virt {
             // Poll in virtual time instead of blocking the lab's core.
             match rx.try_recv() {
-                Ok(req) => req,
+                Ok(msg) => msg,
                 Err(TryRecvError::Disconnected) => return,
                 Err(TryRecvError::Empty) => {
                     clock::sleep_ns(5_000);
@@ -340,14 +388,72 @@ fn accept_loop(inner: &Arc<ServerInner>, rx: Receiver<ConnectRequest>) {
                 }
             }
         } else {
-            let Ok(req) = rx.recv_timeout(Duration::from_millis(50)) else {
+            let Ok(msg) = rx.recv_timeout(Duration::from_millis(50)) else {
                 continue;
             };
-            req
+            msg
         };
-        let reply = accept_one(inner, &req);
-        let _ = req.reply.send(reply);
+        match msg {
+            CtrlMsg::Connect(req) => {
+                let reply = accept_one(inner, &req);
+                let _ = req.reply.send(reply);
+            }
+            CtrlMsg::Attach(req) => {
+                let reply = attach_one(inner, &req);
+                let _ = req.reply.send(reply);
+            }
+            CtrlMsg::Detach(req) => {
+                let reply = detach_one(inner, req.sender_id);
+                let _ = req.reply.send(reply);
+            }
+        }
     }
+}
+
+/// Lease a server QP paired to `client_qp` and build its lane context.
+/// The QP comes from the node's pool (warm path: reset + reuse instead
+/// of the full creation penalty) and its rings from the MR cache.
+fn build_server_lane(
+    inner: &ServerInner,
+    send_cq: &Arc<CompletionQueue>,
+    client_qp: &Arc<Qp>,
+    response_ring: RingInfo,
+) -> Result<Arc<ServerQpCtx>> {
+    let qp = inner.node.lease_qp(Transport::Rc, send_cq, &inner.imm_cq);
+    flock_fabric::connect_qps(client_qp, &qp)?;
+    let req_mr = inner
+        .node
+        .acquire_mr(inner.cfg.ring_capacity, Access::REMOTE_WRITE);
+    let staging = inner
+        .node
+        .acquire_mr(inner.cfg.ring_capacity, Access::LOCAL);
+    // Post receive slots for credit-renewal write-with-imm.
+    for _ in 0..inner.cfg.imm_recv_depth {
+        qp.post_recv(RecvWr {
+            wr_id: WrId(0),
+            local: Sge {
+                lkey: req_mr.lkey(),
+                addr: req_mr.addr(),
+                len: 0,
+            },
+        })?;
+    }
+    Ok(Arc::new(ServerQpCtx {
+        qp,
+        req_mr,
+        req_cons: Mutex::new(RingConsumer::new(RingLayout::new(
+            0,
+            inner.cfg.ring_capacity,
+        ))),
+        resp_prod: Mutex::new(RingProducer::new(RingLayout::new(0, response_ring.capacity))),
+        resp_remote: response_ring,
+        staging,
+        client_resp_head: AtomicU64::new(0),
+        last_flushed_head: AtomicU64::new(0),
+        write_count: AtomicU64::new(0),
+        canary_seq: AtomicU64::new(0),
+        active: AtomicBool::new(true),
+    }))
 }
 
 fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectReply> {
@@ -364,57 +470,24 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
     let mut server_qpns = Vec::with_capacity(n);
     let mut request_rings = Vec::with_capacity(n);
     for (i, client_qp) in req.client_qps.iter().enumerate() {
-        let qp = inner.node.create_qp(Transport::Rc, &send_cq, &inner.imm_cq);
-        flock_fabric::connect_qps(client_qp, &qp)?;
-        let req_mr = inner
-            .node
-            .register_mr(inner.cfg.ring_capacity, Access::REMOTE_WRITE);
-        let staging = inner
-            .node
-            .register_mr(inner.cfg.ring_capacity, Access::LOCAL);
-        // Post receive slots for credit-renewal write-with-imm.
-        for _ in 0..inner.cfg.imm_recv_depth {
-            qp.post_recv(RecvWr {
-                wr_id: WrId(0),
-                local: Sge {
-                    lkey: req_mr.lkey(),
-                    addr: req_mr.addr(),
-                    len: 0,
-                },
-            })?;
-        }
-        server_qpns.push(qp.qpn());
+        let ctx = build_server_lane(inner, &send_cq, client_qp, req.response_rings[i])?;
+        server_qpns.push(ctx.qp.qpn());
         request_rings.push(RingInfo {
-            rkey: req_mr.rkey(),
-            addr: req_mr.addr(),
+            rkey: ctx.req_mr.rkey(),
+            addr: ctx.req_mr.addr(),
             capacity: inner.cfg.ring_capacity,
         });
-        inner.qpn_map.write().insert(qp.qpn().0, (conn_idx, i));
-        qps.push(ServerQpCtx {
-            qp,
-            req_mr,
-            req_cons: Mutex::new(RingConsumer::new(RingLayout::new(
-                0,
-                inner.cfg.ring_capacity,
-            ))),
-            resp_prod: Mutex::new(RingProducer::new(RingLayout::new(
-                0,
-                req.response_rings[i].capacity,
-            ))),
-            resp_remote: req.response_rings[i],
-            staging,
-            client_resp_head: AtomicU64::new(0),
-            write_count: AtomicU64::new(0),
-            canary_seq: AtomicU64::new(0),
-            active: AtomicBool::new(true),
-        });
+        inner.qpn_map.write().insert(ctx.qp.qpn().0, (conn_idx, i));
+        qps.push(ctx);
     }
 
     inner.qp_sched.lock().register_sender(sender_id, n);
     conns.push(Arc::new(ServerConn {
         sender_id,
         client_node: req.client_node,
-        qps,
+        send_cq,
+        qps: RwLock::new(qps),
+        departed: AtomicBool::new(false),
     }));
     // Seed the new connection's dispatcher round-robin; the QP scheduler
     // rebalances by active-QP weight as traffic develops.
@@ -448,6 +521,122 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
     })
 }
 
+/// Materialize one more lane on a live connection (the server half of
+/// lazy QP creation): lease a QP, pair it with the client's, and grow
+/// both the scheduler's view of the sender and the dispatch snapshot.
+fn attach_one(inner: &Arc<ServerInner>, req: &AttachRequest) -> Result<AttachReply> {
+    let conns = inner.conns.read();
+    let (conn_idx, conn) = conns
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.sender_id == req.sender_id && !c.departed.load(Ordering::Relaxed))
+        .ok_or(FlockError::Disconnected)?;
+
+    let ctx = build_server_lane(inner, &conn.send_cq, &req.client_qp, req.response_ring)?;
+    let server_qp = ctx.qp.qpn();
+    let request_ring = RingInfo {
+        rkey: ctx.req_mr.rkey(),
+        addr: ctx.req_mr.addr(),
+        capacity: inner.cfg.ring_capacity,
+    };
+
+    let mut qps = conn.qps.write();
+    if req.lane != qps.len() {
+        // Lanes attach densely in order; a mismatch means the client and
+        // server disagree about the connection's shape.
+        inner.node.release_qp(&ctx.qp);
+        inner.node.release_mr(&ctx.req_mr);
+        inner.node.release_mr(&ctx.staging);
+        return Err(FlockError::CorruptMessage("attach lane out of order"));
+    }
+    inner
+        .qpn_map
+        .write()
+        .insert(server_qp.0, (conn_idx, req.lane));
+    // Grow the sender in the scheduler; the lane starts active only if
+    // the AQP budget has room (the next redistribution arbitrates).
+    {
+        let mut sched = inner.qp_sched.lock();
+        sched.add_qp(req.sender_id);
+        ctx.active.store(
+            sched.is_active(SenderQp {
+                sender: req.sender_id,
+                qp: req.lane,
+            }),
+            Ordering::Relaxed,
+        );
+    }
+    qps.push(ctx);
+    // Publish while holding the lane write lock, mirroring `accept_one`.
+    inner.topo_gen.fetch_add(1, Ordering::Release);
+
+    Ok(AttachReply {
+        server_qp,
+        request_ring,
+        initial_credits: inner.cfg.sched.grant_size,
+    })
+}
+
+/// Gracefully tear down a sender: release its AQP share immediately,
+/// tombstone the connection out of every dispatcher's next snapshot,
+/// wait for all workers to acknowledge the new topology (quiescence —
+/// no shard still holds the departing QPs), then recycle the QPs and
+/// rings into the node's pools. Established connections only ever see
+/// a republished generation, never a stalled dispatcher.
+fn detach_one(inner: &Arc<ServerInner>, sender_id: u32) -> Result<()> {
+    let conn = {
+        let conns = inner.conns.read();
+        let Some(conn) = conns.iter().find(|c| c.sender_id == sender_id) else {
+            return Ok(()); // unknown or already detached: idempotent
+        };
+        if conn.departed.swap(true, Ordering::Relaxed) {
+            return Ok(());
+        }
+        Arc::clone(conn)
+    };
+    // Tombstone published: the Release RMW on `topo_gen` orders the
+    // `departed` store before any dispatcher's Acquire load of the new
+    // generation.
+    let target_gen = inner.topo_gen.fetch_add(1, Ordering::Release) + 1;
+
+    // The departing sender's whole AQP share returns to the pool now —
+    // survivors pick it up at the next redistribution.
+    inner.qp_sched.lock().unregister_sender(sender_id);
+    {
+        let qps = conn.qps.read();
+        let mut map = inner.qpn_map.write();
+        for qp in qps.iter() {
+            map.remove(&qp.qp.qpn().0);
+        }
+    }
+
+    // Quiesce: every dispatcher must fold the tombstoned topology into
+    // its snapshot before the QPs and rings can be recycled (a stale
+    // shard would otherwise post into a ring another lessee now owns).
+    let deadline = clock::deadline(inner.cfg.timeout);
+    for ack in &inner.dispatch_acks {
+        while ack.load(Ordering::Acquire) < target_gen {
+            if inner.stop.load(Ordering::Relaxed) {
+                return Err(FlockError::Disconnected);
+            }
+            if clock::expired(deadline) {
+                return Err(FlockError::Timeout);
+            }
+            clock::sleep_ns(1_000);
+        }
+    }
+
+    let drained: Vec<Arc<ServerQpCtx>> = std::mem::take(&mut *conn.qps.write());
+    for ctx in drained {
+        inner.node.release_qp(&ctx.qp);
+        inner.node.release_mr(&ctx.req_mr);
+        inner.node.release_mr(&ctx.staging);
+    }
+    // Re-cut the dispatcher partition without the departed connection.
+    rebalance_dispatch(inner);
+    Ok(())
+}
+
 /// Empty response slice with a concrete payload type, for head-only and
 /// credit-control messages (the generic [`flush_response`] cannot infer
 /// `B` from a bare `&[]`).
@@ -469,10 +658,18 @@ const INACTIVE_POLL_PERIOD: u64 = 16;
 fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
     // Generation-stamped partition snapshot: cloning the `Arc` vector on
     // every sweep made each idle poll O(conns) in refcount traffic; the
-    // snapshot is refreshed only when `accept_one` or the rebalancer
-    // publishes a new topology generation.
-    let mut conns: Vec<(usize, Arc<ServerConn>)> = Vec::new();
+    // snapshot is refreshed only when `accept_one`, `attach_one`,
+    // `detach_one` or the rebalancer publishes a new topology
+    // generation. Each entry carries its lane list so the sweep never
+    // touches `conn.qps`' lock.
+    let mut conns: Vec<(usize, Arc<ServerConn>, Vec<Arc<ServerQpCtx>>)> = Vec::new();
     let mut conns_seen = u64::MAX;
+    // Handler snapshot, same gen-stamped scheme: the seed took
+    // `handlers.read()` per polled message, putting a shared rwlock on
+    // the hottest path. `reg_handler` bumps `handlers_gen`; the sweep
+    // clones the table only when that moves.
+    let mut handlers: HashMap<u32, Handler> = HashMap::new();
+    let mut handlers_seen = u64::MAX;
     // Response scratch, reused across messages (cleared, not freed).
     let mut responses: Vec<(EntryMeta, Vec<u8>)> = Vec::new();
     // Send-CQ drain scratch: batched poll, one sync edge per sweep.
@@ -489,28 +686,41 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
         sweep = sweep.wrapping_add(1);
         let gen = inner.topo_gen.load(Ordering::Acquire);
         if gen != conns_seen {
-            // Lock order: `conns` before `dispatch_assign`, matching
-            // `accept_one` and `rebalance_dispatch`.
+            // Lock order: `conns` before `dispatch_assign` before
+            // `conn.qps`, matching `accept_one` and
+            // `rebalance_dispatch`.
             let all = inner.conns.read();
             let assign = inner.dispatch_assign.read();
             conns = all
                 .iter()
                 .enumerate()
-                .filter(|(idx, _)| assign.get(*idx).copied().unwrap_or(0) == worker)
-                .map(|(idx, c)| (idx, Arc::clone(c)))
+                .filter(|(idx, c)| {
+                    assign.get(*idx).copied().unwrap_or(0) == worker
+                        && !c.departed.load(Ordering::Relaxed)
+                })
+                .map(|(idx, c)| (idx, Arc::clone(c), c.qps.read().clone()))
                 .collect();
             conns_seen = gen;
+            // Quiescence ack: once this store is visible, no departed
+            // QP is referenced by this worker's snapshot, so
+            // `detach_one` may recycle the connection's resources.
+            inner.dispatch_acks[worker].fetch_max(gen, Ordering::Release);
+        }
+        let hgen = inner.handlers_gen.load(Ordering::Acquire);
+        if hgen != handlers_seen {
+            handlers = inner.handlers.read().clone();
+            handlers_seen = hgen;
         }
         let mut progressed = false;
-        for &(conn_idx, ref conn) in conns.iter() {
+        for &(conn_idx, ref conn, ref qps) in conns.iter() {
             // Drain signaled response-write completions for the whole
             // connection in one batched sweep (the send CQ is shared by
             // the connection's QPs).
-            if let Some(first) = conn.qps.first() {
+            if !qps.is_empty() {
                 drained.clear();
-                first.qp.send_cq().poll(&mut drained, usize::MAX);
+                conn.send_cq.poll(&mut drained, usize::MAX);
             }
-            for (qp_idx, qp) in conn.qps.iter().enumerate() {
+            for (qp_idx, qp) in qps.iter().enumerate() {
                 // Deactivated QPs drain at a reduced probe rate.
                 if !qp.active.load(Ordering::Relaxed) && !sweep.is_multiple_of(INACTIVE_POLL_PERIOD)
                 {
@@ -525,7 +735,6 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                         qp.client_resp_head
                             .fetch_max(view.header.head, Ordering::AcqRel);
                         inner.stats.messages.fetch_add(1, Ordering::Relaxed);
-                        let handlers = inner.handlers.read();
                         responses.clear();
                         for (meta, range) in view.entry_ranges() {
                             inner.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -559,16 +768,32 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                                 });
                             }
                         }
-                        drop(handlers);
                         if !responses.is_empty() {
                             // Responses coalesce into one message, like
                             // requests (paper §4.3).
                             let _ = flush_response(inner, qp, &responses, 0, 0);
                         } else {
-                            // Nothing to send now, but the consumed head
-                            // must still reach the client eventually; a
-                            // zero-entry message carries it.
-                            let _ = flush_response(inner, qp, NO_RESPONSES, 0, 0);
+                            // Manual-path-only message: nothing to send
+                            // now, but the consumed head must still reach
+                            // the client eventually. A head-only write
+                            // per polled message is redundant while the
+                            // client still sees plenty of free ring, so
+                            // defer until its view lags by a quarter
+                            // ring (head debt). Every data-carrying
+                            // flush republishes the head too, so once
+                            // debt crosses the threshold the next polled
+                            // message flushes it — the client's stale
+                            // view is bounded at cap/4 plus one message
+                            // and never wedges the producer.
+                            let consumed = { qp.req_cons.lock().head() };
+                            let flushed = qp.last_flushed_head.load(Ordering::Relaxed);
+                            if consumed.saturating_sub(flushed)
+                                >= (inner.cfg.ring_capacity as u64) / 4
+                            {
+                                let _ = flush_response(inner, qp, NO_RESPONSES, 0, 0);
+                            } else {
+                                inner.stats.head_flushes_skipped.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                     Ok(None) => {
@@ -691,6 +916,10 @@ fn flush_response<B: AsRef<[u8]>>(
         wr = wr.unsignaled();
     }
     qp.qp.post_send(wr)?;
+    // Every response message piggybacks the consumed head; remember the
+    // last one published so dispatchers can elide redundant head-only
+    // writes (`fetch_max`: concurrent flushers never move it backwards).
+    qp.last_flushed_head.fetch_max(consumed_head, Ordering::Relaxed);
     // Host cost of staging the message and ringing the doorbell.
     clock::charge(inner.cost.cpu_doorbell_ns + inner.cost.memcpy_time(need).as_nanos());
     Ok(())
@@ -725,11 +954,23 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
             let Some((conn_idx, qp_idx)) = lookup else {
                 continue;
             };
-            let conns = inner.conns.read();
-            let Some(conn) = conns.get(conn_idx) else {
+            // Clone the lane context out of the locks: `flush_response`
+            // below can spin in virtual time on a full ring, and holding
+            // `conns` across that would stall connect/teardown.
+            let looked_up = {
+                let conns = inner.conns.read();
+                conns.get(conn_idx).and_then(|conn| {
+                    if conn.departed.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                    let qps = conn.qps.read();
+                    qps.get(qp_idx).map(|q| (conn.sender_id, Arc::clone(q)))
+                })
+            };
+            let Some((sender_id, qp)) = looked_up else {
                 continue;
             };
-            let qp = &conn.qps[qp_idx];
+            let qp = &qp;
             // Re-post the consumed receive slot.
             clock::charge(inner.cost.cpu_post_recv_ns);
             let _ = qp.qp.post_recv(RecvWr {
@@ -743,7 +984,7 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
             let median_degree = (imm & 0xFFFF) as u16;
             let decision = inner.qp_sched.lock().on_credit_request(
                 SenderQp {
-                    sender: conn.sender_id,
+                    sender: sender_id,
                     qp: qp_idx,
                 },
                 median_degree,
@@ -765,12 +1006,19 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
             last_redistribution = clock::now_ns();
             let changes = inner.qp_sched.lock().redistribute();
             if !changes.is_empty() {
-                let conns = inner.conns.read();
                 for (sq, now_active) in changes {
-                    let Some(conn) = conns.iter().find(|c| c.sender_id == sq.sender) else {
-                        continue;
+                    // Clone the lane out of the locks (same rationale as
+                    // the credit path above).
+                    let looked_up = {
+                        let conns = inner.conns.read();
+                        conns
+                            .iter()
+                            .find(|c| {
+                                c.sender_id == sq.sender && !c.departed.load(Ordering::Relaxed)
+                            })
+                            .and_then(|conn| conn.qps.read().get(sq.qp).cloned())
                     };
-                    let Some(qp) = conn.qps.get(sq.qp) else {
+                    let Some(qp) = looked_up else {
                         continue;
                     };
                     // Mirror the scheduler's decision for the dispatchers'
@@ -785,13 +1033,12 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
                     };
                     let _ = flush_response(
                         inner,
-                        qp,
+                        &qp,
                         NO_RESPONSES,
                         FLAG_CREDIT_GRANT,
                         msg::pack_aux(credits, 0),
                     );
                 }
-                drop(conns);
                 // Active-QP weights just shifted: re-cut the dispatcher
                 // partition so handler capacity follows the traffic.
                 rebalance_dispatch(inner);
@@ -823,6 +1070,11 @@ fn rebalance_dispatch(inner: &ServerInner) {
     let weights: Vec<usize> = conns
         .iter()
         .map(|c| {
+            // Departed connections are invisible to dispatch snapshots;
+            // give them zero weight so survivors split the capacity.
+            if c.departed.load(Ordering::Relaxed) {
+                return 0;
+            }
             sched
                 .active_map(c.sender_id)
                 .map(|m| m.iter().filter(|a| **a).count())

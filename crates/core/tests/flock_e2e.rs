@@ -586,3 +586,96 @@ fn handle_metrics_snapshot_is_consistent() {
     assert_eq!(m.per_qp.iter().map(|q| q.requests).sum::<u64>(), 40);
     server.shutdown(&domain);
 }
+
+#[test]
+fn lazy_lanes_materialize_on_demand() {
+    // Default config is lazy: `fl_connect` sets up a single control QP;
+    // further lanes attach when threads land on them.
+    let domain = FlockDomain::with_defaults();
+    let server = echo_server(&domain, "s-lazy", ServerConfig::default());
+    let client = domain.add_node("c-lazy");
+    let handle = fl_connect(&domain, &client, "s-lazy", HandleConfig::default()).unwrap();
+    assert_eq!(handle.materialized_qps(), 1, "lazy connect starts with one lane");
+
+    // Threads 0..4 hash onto lanes 0..4 (n_qps = 4): each registration
+    // past the first materializes a lane before sending.
+    let threads: Vec<_> = (0..4).map(|_| handle.register_thread()).collect();
+    assert_eq!(handle.materialized_qps(), 4);
+    for (i, t) in threads.iter().enumerate() {
+        let msg = format!("lane-{i}");
+        assert_eq!(t.call(1, msg.as_bytes()).unwrap(), format!("echo:{msg}").as_bytes());
+    }
+    server.shutdown(&domain);
+}
+
+#[test]
+fn eager_connect_materializes_all_lanes() {
+    let domain = FlockDomain::with_defaults();
+    let server = echo_server(&domain, "s-eager", ServerConfig::default());
+    let client = domain.add_node("c-eager");
+    let mut cfg = HandleConfig::default();
+    cfg.eager_qps = true;
+    let handle = fl_connect(&domain, &client, "s-eager", cfg).unwrap();
+    assert_eq!(handle.materialized_qps(), 4);
+    let t = handle.register_thread();
+    assert_eq!(t.call(1, b"up").unwrap(), b"echo:up");
+    server.shutdown(&domain);
+}
+
+#[test]
+fn graceful_close_quiesces_and_recycles() {
+    use flock_fabric::FabricConfig;
+    // Elastic pools on: a closed connection's QPs and rings go back to
+    // the node instead of being destroyed.
+    let mut fc = FabricConfig::default();
+    fc.qpool.enabled = true;
+    fc.mr_cache.enabled = true;
+    let domain = FlockDomain::new(fc);
+    let server = echo_server(&domain, "s-close", ServerConfig::default());
+    let client = domain.add_node("c-close");
+
+    let mut h1 = fl_connect(&domain, &client, "s-close", HandleConfig::default()).unwrap();
+    let t = h1.register_thread();
+    for i in 0..20u32 {
+        t.call(1, &i.to_le_bytes()).unwrap();
+    }
+    drop(t);
+    fl_disconnect(&mut h1).unwrap();
+    let recycled = client.pool().stats().recycled.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(recycled >= 1, "closed handle recycles its QPs, got {recycled}");
+
+    // A second connection on the same node leases warm resources and the
+    // server still serves it — nothing was wedged by the teardown.
+    let mut h2 = fl_connect(&domain, &client, "s-close", HandleConfig::default()).unwrap();
+    let t2 = h2.register_thread();
+    assert_eq!(t2.call(1, b"again").unwrap(), b"echo:again");
+    let warm = client.pool().stats().warm.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(warm >= 1, "second connect should hit the QP pool, got {warm}");
+    drop(t2);
+    fl_disconnect(&mut h2).unwrap();
+    server.shutdown(&domain);
+}
+
+#[test]
+fn close_is_idempotent_and_server_survives() {
+    let domain = FlockDomain::with_defaults();
+    let server = echo_server(&domain, "s-idem", ServerConfig::default());
+    let client = domain.add_node("c-idem");
+    let other = domain.add_node("c-idem-2");
+
+    let keeper = fl_connect(&domain, &client, "s-idem", HandleConfig::default()).unwrap();
+    let kt = keeper.register_thread();
+    let mut goner = fl_connect(&domain, &other, "s-idem", HandleConfig::default()).unwrap();
+    let gt = goner.register_thread();
+    assert_eq!(gt.call(1, b"bye").unwrap(), b"echo:bye");
+    drop(gt);
+    assert!(goner.close().is_ok());
+    // Second close is a no-op (already stopped), not a panic or hang.
+    let _ = goner.close();
+
+    // The surviving connection is unaffected by its neighbour's detach.
+    for i in 0..10u32 {
+        assert_eq!(kt.call(2, &[i as u8; 4]).unwrap().len(), 8);
+    }
+    server.shutdown(&domain);
+}

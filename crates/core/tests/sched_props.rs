@@ -1,0 +1,267 @@
+//! Property tests for the two scheduling state machines behind the
+//! elastic control plane: the receiver-side QP scheduler
+//! (`sched::qp::QpScheduler`, paper §5.1) and the sender-side thread
+//! packer (`sched::thread::assign_threads`, Algorithm 1). The unit
+//! tests pin down known-answer cases; these properties pin down the
+//! invariants that churn (register/unregister/add_qp interleaved with
+//! redistribution) must never violate.
+
+use flock_core::sched::{assign_threads, QpScheduler, QpSchedulerConfig, SenderQp, ThreadLoadStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sched(max_aqp: usize) -> QpScheduler {
+    QpScheduler::new(QpSchedulerConfig {
+        max_aqp,
+        grant_size: 32,
+    })
+}
+
+/// Drive one utilization interval: sender `i` reports `util[i]` renewal
+/// requests of degree 1 on its first QP (degree-1 renewals keep the
+/// proportionality arithmetic transparent: U_i == util[i]).
+fn report(s: &mut QpScheduler, util: &[u64]) {
+    for (i, &u) in util.iter().enumerate() {
+        for _ in 0..u {
+            s.on_credit_request(
+                SenderQp {
+                    sender: i as u32,
+                    qp: 0,
+                },
+                1,
+            );
+        }
+    }
+}
+
+fn active_count(s: &QpScheduler, sender: u32) -> usize {
+    s.active_map(sender)
+        .map(|m| m.iter().filter(|a| **a).count())
+        .unwrap_or(0)
+}
+
+proptest! {
+    /// After redistribution every sender holds at least one active QP
+    /// (dormant senders included — the paper's "AQP_i = 1 otherwise"
+    /// branch), no sender exceeds its lane count, and the busy senders'
+    /// shares respect the global MAX_AQP budget.
+    #[test]
+    fn redistribution_respects_budget_and_floors(
+        n_qps in vec(1usize..8, 1..12),
+        util in vec(0u64..64, 1..12),
+        max_aqp in 1usize..32,
+    ) {
+        let n = n_qps.len().min(util.len());
+        let mut s = sched(max_aqp);
+        for (i, &q) in n_qps.iter().take(n).enumerate() {
+            s.register_sender(i as u32, q);
+        }
+        report(&mut s, &util[..n]);
+        s.redistribute();
+
+        let mut busy_total = 0usize;
+        for (i, &q) in n_qps.iter().take(n).enumerate() {
+            let a = active_count(&s, i as u32);
+            prop_assert!(a >= 1, "sender {} starved: {} active", i, a);
+            prop_assert!(a <= q, "sender {} over its {} lanes: {}", i, q, a);
+            if util[i] > 0 {
+                busy_total += a;
+            }
+        }
+        // Each busy sender's target is (max_aqp * U_i / ΣU).clamp(1, n_i),
+        // so the sum over busy senders is at most max_aqp + one floor per
+        // rounded-to-zero share.
+        let floors = util[..n].iter().filter(|&&u| u > 0).count();
+        prop_assert!(
+            busy_total <= max_aqp + floors,
+            "busy shares {} blow the budget {} (+{} floors)",
+            busy_total, max_aqp, floors
+        );
+    }
+
+    /// Proportionality is monotone: with identical lane counts, a sender
+    /// reporting strictly more utilization never ends up with fewer
+    /// active QPs than a sender reporting less.
+    #[test]
+    fn shares_are_monotone_in_utilization(
+        util in vec(0u64..256, 2..10),
+        n_qps in 1usize..9,
+        max_aqp in 1usize..64,
+    ) {
+        let mut s = sched(max_aqp);
+        for i in 0..util.len() {
+            s.register_sender(i as u32, n_qps);
+        }
+        report(&mut s, &util);
+        s.redistribute();
+
+        for i in 0..util.len() {
+            for j in 0..util.len() {
+                if util[i] > util[j] {
+                    let (ai, aj) = (active_count(&s, i as u32), active_count(&s, j as u32));
+                    prop_assert!(
+                        ai >= aj,
+                        "U_{i}={} got {} lanes but U_{j}={} got {}",
+                        util[i], ai, util[j], aj
+                    );
+                }
+            }
+        }
+    }
+
+    /// Churn safety: an arbitrary interleaving of register, unregister,
+    /// add_qp, credit traffic, and redistribution leaves the scheduler
+    /// consistent — total_active matches the per-sender maps, departed
+    /// senders stay gone, and grants only flow on active QPs. This is
+    /// the state machine `detach_one`/`attach_one` drive under load.
+    #[test]
+    fn churn_interleaving_keeps_scheduler_consistent(
+        ops in vec((0u8..5, 0u32..6, 1usize..5), 1..64),
+        max_aqp in 1usize..16,
+    ) {
+        let mut s = sched(max_aqp);
+        let mut live: Vec<u32> = Vec::new();
+        for (op, id, arg) in ops {
+            match op {
+                0 => {
+                    if !live.contains(&id) {
+                        s.register_sender(id, arg);
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    let freed = s.unregister_sender(id);
+                    if live.contains(&id) {
+                        prop_assert!(!freed.is_empty(), "live sender {} freed nothing", id);
+                    } else {
+                        prop_assert!(freed.is_empty(), "ghost sender {} freed {:?}", id, freed);
+                    }
+                    live.retain(|&x| x != id);
+                    prop_assert!(s.active_map(id).is_none());
+                }
+                2 => {
+                    let lane = s.add_qp(id);
+                    prop_assert_eq!(lane.is_some(), live.contains(&id));
+                }
+                3 => {
+                    let sq = SenderQp { sender: id, qp: arg - 1 };
+                    let granted = s.on_credit_request(sq, arg as u16);
+                    if granted.is_some() {
+                        prop_assert!(s.is_active(sq), "grant on inactive QP {:?}", sq);
+                    }
+                    if !live.contains(&id) {
+                        prop_assert!(granted.is_none(), "grant to departed sender {}", id);
+                    }
+                }
+                _ => {
+                    s.redistribute();
+                    for &id in &live {
+                        prop_assert!(active_count(&s, id) >= 1, "sender {} starved", id);
+                    }
+                }
+            }
+            let from_maps: usize = live.iter().map(|&id| active_count(&s, id)).sum();
+            prop_assert_eq!(s.total_active(), from_maps, "total_active out of sync");
+        }
+    }
+}
+
+/// Build thread stats from raw (median, requests) pairs; ids are the
+/// vector positions, bytes the product (what the sender tracker records).
+fn threads_from(raw: &[(u32, u64)]) -> Vec<ThreadLoadStats> {
+    raw.iter()
+        .enumerate()
+        .map(|(id, &(median, requests))| ThreadLoadStats {
+            thread_id: id as u32,
+            median_req_size: median,
+            requests,
+            bytes: u64::from(median) * requests,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every thread is assigned exactly once to an in-range QP, and no
+    /// active QP is left idle while another holds 2+ threads (the
+    /// fairness goal — quota packing alone can strand lanes when one
+    /// thread dominates the byte count).
+    #[test]
+    fn packing_is_total_in_range_and_fair(
+        raw in vec((1u32..8192, 1u64..1000), 1..24),
+        num_qps in 1usize..8,
+    ) {
+        let stats = threads_from(&raw);
+        let assign = assign_threads(&stats, num_qps);
+        prop_assert_eq!(assign.len(), stats.len());
+        let mut counts = vec![0usize; num_qps];
+        let mut seen = std::collections::HashSet::new();
+        for &(id, qp) in &assign {
+            prop_assert!(qp < num_qps, "QP {} out of range {}", qp, num_qps);
+            prop_assert!(seen.insert(id), "thread {} assigned twice", id);
+            counts[qp] += 1;
+        }
+        if stats.len() >= num_qps {
+            prop_assert!(
+                counts.iter().all(|&c| c > 0),
+                "idle QP with {} threads on {} lanes: {:?}",
+                stats.len(), num_qps, counts
+            );
+        }
+    }
+
+    /// Quota packing must not starve: one oversized thread exhausting
+    /// the byte quota on the first lanes cannot pile every later thread
+    /// onto the last QP. The small threads spread across the remaining
+    /// lanes and never share a QP with the giant (head-of-line goal).
+    #[test]
+    fn oversized_thread_does_not_starve_later_threads(
+        smalls in 2usize..16,
+        num_qps in 3usize..8,
+        small_median in 16u32..128,
+        factor in 64u64..4096,
+    ) {
+        let mut stats: Vec<ThreadLoadStats> = (0..smalls as u32)
+            .map(|id| ThreadLoadStats {
+                thread_id: id,
+                median_req_size: small_median,
+                requests: 100,
+                bytes: u64::from(small_median) * 100,
+            })
+            .collect();
+        let giant_bytes = u64::from(small_median) * 100 * factor;
+        stats.push(ThreadLoadStats {
+            thread_id: smalls as u32,
+            median_req_size: (giant_bytes / 100).min(u64::from(u32::MAX)) as u32,
+            requests: 100,
+            bytes: giant_bytes,
+        });
+
+        let assign = assign_threads(&stats, num_qps);
+        let giant_qp = assign
+            .iter()
+            .find(|(id, _)| *id == smalls as u32)
+            .unwrap()
+            .1;
+        let small_qps: Vec<usize> = assign
+            .iter()
+            .filter(|(id, _)| *id != smalls as u32)
+            .map(|(_, q)| *q)
+            .collect();
+        // The giant sits alone.
+        prop_assert!(
+            small_qps.iter().all(|&q| q != giant_qp),
+            "small thread shares QP {} with the giant: {:?}",
+            giant_qp, assign
+        );
+        // And the smalls use the other lanes, not one crowded dump QP.
+        let mut used: Vec<usize> = small_qps.clone();
+        used.sort_unstable();
+        used.dedup();
+        let expect = (num_qps - 1).min(smalls);
+        prop_assert!(
+            used.len() >= expect.min(2),
+            "{} small threads crowded onto {} of {} free lanes: {:?}",
+            smalls, used.len(), num_qps - 1, assign
+        );
+    }
+}

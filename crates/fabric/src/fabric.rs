@@ -1,7 +1,7 @@
 //! The fabric: the set of nodes, their NIC engines, and connection setup.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
@@ -11,8 +11,10 @@ use parking_lot::{Mutex, RwLock};
 use crate::cache::ConnCache;
 use crate::cq::CompletionQueue;
 use crate::mr::{Access, MemoryRegion, MrTable};
+use crate::mrcache::{MrCache, MrCacheConfig};
 use crate::nic::{engine_loop, NicCmd, NicStats};
 use crate::qp::Qp;
+use crate::qpool::{QpPool, QpPoolConfig};
 use crate::timing::CostModel;
 use crate::types::{FabricError, NodeId, QpNum, Result, Transport};
 
@@ -35,6 +37,12 @@ pub struct FabricConfig {
     /// [`auto_nic_lanes`]; override for benchmarks sweeping the lane
     /// count.
     pub nic_lanes: usize,
+    /// Per-node QP pool (the elastic control plane's warm-lease path).
+    /// Disabled by default: leases cold-create, releases destroy.
+    pub qpool: QpPoolConfig,
+    /// Per-node MR registration cache. Disabled by default: acquires
+    /// register cold, releases deregister.
+    pub mr_cache: MrCacheConfig,
 }
 
 /// Default NIC lane count: the host's available parallelism, clamped to
@@ -58,6 +66,8 @@ impl Default for FabricConfig {
             seed: 0x5EED,
             nic_cache_entries: entries,
             nic_lanes: auto_nic_lanes(),
+            qpool: QpPoolConfig::default(),
+            mr_cache: MrCacheConfig::default(),
         }
     }
 }
@@ -95,6 +105,16 @@ pub struct Node {
     /// One command channel per engine lane; QPs are pinned to a lane by
     /// QPN at creation, preserving per-QP FIFO execution order.
     engine_txs: Vec<Sender<NicCmd>>,
+    /// The cost model, for charging control-plane operations (QP
+    /// creation/reset, MR registration) to the calling virtual task.
+    cost: CostModel,
+    /// Recycled-QP free list (see `crates/fabric/src/qpool.rs`).
+    pool: QpPool,
+    /// Parked-MR registration cache.
+    mr_cache: Mutex<MrCache>,
+    /// Placeholder CQ bound to pooled QPs while they sit in the free
+    /// list; a lease rebinds to the lessee's real CQs.
+    parked_cq: Arc<CompletionQueue>,
 }
 
 impl Node {
@@ -181,6 +201,124 @@ impl Node {
     pub fn qp_count(&self) -> usize {
         self.qps.read().len()
     }
+
+    /// The node's QP pool.
+    pub fn pool(&self) -> &QpPool {
+        &self.pool
+    }
+
+    /// The node's MR registration cache.
+    pub fn mr_cache(&self) -> &Mutex<MrCache> {
+        &self.mr_cache
+    }
+
+    /// Lease a QP: recycle one from the pool (reset + CQ rebind,
+    /// charging [`CostModel::ctrl_reset_qp_ns`]) when possible, fall
+    /// back to a cold [`Node::create_qp`] (charging
+    /// [`CostModel::ctrl_create_qp_ns`]) otherwise. Only RC QPs pool —
+    /// the connection-oriented state is what is expensive to rebuild.
+    ///
+    /// Hot-path entry point for `cargo xtask lint` (the connect path is
+    /// a measured hot path under churn): warm leases are
+    /// allocation-free.
+    pub fn lease_qp(
+        &self,
+        transport: Transport,
+        send_cq: &Arc<CompletionQueue>,
+        recv_cq: &Arc<CompletionQueue>,
+    ) -> Arc<Qp> {
+        self.pool.stats().bump(&self.pool.stats().leases);
+        if transport == Transport::Rc {
+            if let Some(qp) = self.pool.take() {
+                qp.rebind_cqs(send_cq, recv_cq);
+                clock::charge(self.cost.ctrl_reset_qp_ns);
+                self.pool.stats().bump(&self.pool.stats().warm);
+                return qp;
+            }
+        }
+        clock::charge(self.cost.ctrl_create_qp_ns);
+        self.pool.stats().bump(&self.pool.stats().cold);
+        self.create_qp(transport, send_cq, recv_cq)
+    }
+
+    /// Release a leased QP: reset it (bumping its lease epoch so stale
+    /// queued work is dropped by the engine) and park it in the pool;
+    /// destroy it when the pool is disabled, full, or the transport is
+    /// not RC. Charges [`CostModel::ctrl_reset_qp_ns`] — the
+    /// modify-to-RESET verb — never the creation cost.
+    ///
+    /// Hot-path entry point for `cargo xtask lint`: allocation-free when
+    /// the QP is pooled.
+    pub fn release_qp(&self, qp: &Arc<Qp>) {
+        qp.reset();
+        clock::charge(self.cost.ctrl_reset_qp_ns);
+        self.cache
+            .lock()
+            .invalidate(crate::cache::qp_state_key(self.id.0, qp.qpn().0));
+        qp.rebind_cqs(&self.parked_cq, &self.parked_cq);
+        self.pool.stats().bump(&self.pool.stats().recycled);
+        if qp.transport() != Transport::Rc || !self.pool.put(Arc::clone(qp)) {
+            self.pool.stats().bump(&self.pool.stats().discarded);
+            self.destroy_qp(qp.qpn());
+        }
+    }
+
+    /// Cold-create one pooled RC QP (bound to the placeholder CQ) and
+    /// park it. Used by the background refill task and by explicit
+    /// pre-warming; charges the full creation cost to the caller.
+    /// Returns `false` if the pool refused it (disabled or full).
+    pub fn refill_one_qp(&self) -> bool {
+        let qp = self.create_qp(Transport::Rc, &self.parked_cq, &self.parked_cq);
+        clock::charge(self.cost.ctrl_create_qp_ns);
+        if self.pool.put(Arc::clone(&qp)) {
+            true
+        } else {
+            self.destroy_qp(qp.qpn());
+            false
+        }
+    }
+
+    /// Pre-fill the pool with `n` cold-created QPs (charged to the
+    /// caller — benchmarks do this during setup, before measuring).
+    /// Returns how many were actually parked.
+    pub fn prewarm_qps(&self, n: usize) -> usize {
+        let mut parked = 0;
+        for _ in 0..n {
+            if !self.refill_one_qp() {
+                break;
+            }
+            self.pool.stats().bump(&self.pool.stats().refilled);
+            parked += 1;
+        }
+        parked
+    }
+
+    /// Acquire a registered region of `len` bytes: reuse a parked region
+    /// of identical layout (zeroing it — ring canary protocols depend on
+    /// fresh buffers — and charging only [`CostModel::memset_time`]), or
+    /// register cold, charging the Swift-style penalty
+    /// [`CostModel::reg_mr_time`].
+    pub fn acquire_mr(&self, len: usize, access: Access) -> Arc<MemoryRegion> {
+        if let Some(mr) = self.mr_cache.lock().take(len, access) {
+            mr.with_write(|b| b.fill(0));
+            clock::charge(self.cost.memset_time(len).as_nanos());
+            return mr;
+        }
+        clock::charge(self.cost.reg_mr_time(len).as_nanos());
+        self.mrs.register(len, access)
+    }
+
+    /// Release a region acquired via [`Node::acquire_mr`]: park it for
+    /// reuse, deregistering (and charging
+    /// [`CostModel::ctrl_dereg_mr_ns`]) whatever the cache evicts — the
+    /// region itself when the cache is disabled.
+    pub fn release_mr(&self, mr: &Arc<MemoryRegion>) {
+        let evicted = self.mr_cache.lock().put(Arc::clone(mr));
+        for victim in evicted {
+            self.mrs.deregister(victim.lkey());
+            clock::charge(self.cost.ctrl_dereg_mr_ns);
+        }
+    }
 }
 
 /// The top-level fabric handle. Dropping it stops all NIC engines.
@@ -188,6 +326,10 @@ impl Node {
 pub struct Fabric {
     inner: Arc<FabricInner>,
     engines: Mutex<Vec<(Sender<NicCmd>, TaskHandle)>>,
+    /// Background QP-pool refill tasks (one per node, only when the pool
+    /// is enabled with a low watermark) and their stop flag.
+    refillers: Mutex<Vec<TaskHandle>>,
+    refill_stop: Arc<AtomicBool>,
 }
 
 impl Fabric {
@@ -200,6 +342,8 @@ impl Fabric {
                 next_node: AtomicU32::new(0),
             }),
             engines: Mutex::new(Vec::new()),
+            refillers: Mutex::new(Vec::new()),
+            refill_stop: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -228,6 +372,10 @@ impl Fabric {
             cache: Mutex::new(ConnCache::new(self.inner.config.nic_cache_entries)),
             stats: NicStats::default(),
             engine_txs: channels.iter().map(|(tx, _)| tx.clone()).collect(),
+            cost: self.inner.config.cost.clone(),
+            pool: QpPool::new(self.inner.config.qpool.clone()),
+            mr_cache: Mutex::new(MrCache::new(self.inner.config.mr_cache.clone())),
+            parked_cq: CompletionQueue::new(1),
         });
         self.inner.nodes.write().insert(id, Arc::clone(&node));
         for (lane, (tx, rx)) in channels.into_iter().enumerate() {
@@ -239,6 +387,33 @@ impl Fabric {
                 engine_loop(inner, node2, rx, lane)
             });
             self.engines.lock().push((tx, handle));
+        }
+        let qcfg = &self.inner.config.qpool;
+        if qcfg.enabled && qcfg.low_watermark > 0 {
+            // Low-watermark background refill, through the clock seam so
+            // creation cost is charged to this task's (virtual) time —
+            // off every client's connect path.
+            let node2 = Arc::clone(&node);
+            let stop = Arc::clone(&self.refill_stop);
+            let interval = qcfg.refill_interval_ns.max(1);
+            let batch = qcfg.refill_batch.max(1);
+            let handle = clock::spawn(&format!("qpool-{name}"), move || {
+                while !stop.load(Ordering::Acquire) {
+                    clock::sleep_ns(interval);
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if node2.pool().below_watermark() {
+                        for _ in 0..batch {
+                            if !node2.refill_one_qp() {
+                                break;
+                            }
+                            node2.pool().stats().bump(&node2.pool().stats().refilled);
+                        }
+                    }
+                }
+            });
+            self.refillers.lock().push(handle);
         }
         node
     }
@@ -258,9 +433,14 @@ impl Fabric {
         connect_qps(a, b)
     }
 
-    /// Stop all NIC engines and wait for them to exit. Called by `Drop`;
-    /// explicit invocation is idempotent.
+    /// Stop all NIC engines and background refill tasks and wait for
+    /// them to exit. Called by `Drop`; explicit invocation is
+    /// idempotent.
     pub fn shutdown(&self) {
+        self.refill_stop.store(true, Ordering::Release);
+        for handle in self.refillers.lock().drain(..) {
+            let _ = handle.join();
+        }
         let mut engines = self.engines.lock();
         for (tx, _) in engines.iter() {
             let _ = tx.send(NicCmd::Stop);

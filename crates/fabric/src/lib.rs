@@ -71,8 +71,10 @@ pub mod cache;
 pub mod cq;
 pub mod fabric;
 pub mod mr;
+pub mod mrcache;
 pub mod nic;
 pub mod qp;
+pub mod qpool;
 pub mod timing;
 pub mod types;
 pub mod verbs;
@@ -81,6 +83,8 @@ pub use cache::{qp_state_key, ConnCache, Eviction};
 pub use cq::CompletionQueue;
 pub use fabric::{auto_nic_lanes, connect_qps, Fabric, FabricConfig, Node};
 pub use mr::{Access, MemoryRegion, MrTable};
+pub use mrcache::{MrCache, MrCacheConfig};
+pub use qpool::{QpPool, QpPoolConfig, QpPoolStats};
 pub use nic::{NicStats, GRH_BYTES};
 pub use qp::Qp;
 pub use timing::CostModel;

@@ -40,6 +40,10 @@ pub enum NicCmd {
     Post {
         /// The posting queue pair.
         src_qpn: QpNum,
+        /// The QP's lease epoch at post time ([`crate::qp::Qp::epoch`]).
+        /// The engine drops work whose epoch no longer matches: the QP
+        /// was reset (recycled into the pool) after this was posted.
+        epoch: u64,
         /// The work request.
         wr: SendWr,
     },
@@ -93,7 +97,9 @@ pub(crate) fn engine_loop(
     }
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            NicCmd::Post { src_qpn, wr } => process(&fabric, &node, src_qpn, wr, &mut rng),
+            NicCmd::Post { src_qpn, epoch, wr } => {
+                process(&fabric, &node, src_qpn, epoch, wr, &mut rng)
+            }
             NicCmd::Stop => break,
         }
     }
@@ -121,10 +127,10 @@ fn engine_loop_virtual(
         AdaptiveBackoff::new(std::time::Duration::from_micros(2)).with_virtual_cap(2_000);
     loop {
         match rx.try_recv() {
-            Ok(NicCmd::Post { src_qpn, wr }) => {
+            Ok(NicCmd::Post { src_qpn, epoch, wr }) => {
                 idler.reset();
                 clock::sleep_ns(virtual_service_ns(&fabric.config.cost, node, src_qpn, &wr));
-                process(fabric, node, src_qpn, wr, rng);
+                process(fabric, node, src_qpn, epoch, wr, rng);
             }
             Ok(NicCmd::Stop) | Err(TryRecvError::Disconnected) => break,
             Err(TryRecvError::Empty) => idler.idle(),
@@ -164,12 +170,31 @@ fn virtual_service_ns(
     ns
 }
 
-fn process(fabric: &FabricInner, node: &Arc<Node>, src_qpn: QpNum, wr: SendWr, rng: &mut SmallRng) {
+fn process(
+    fabric: &FabricInner,
+    node: &Arc<Node>,
+    src_qpn: QpNum,
+    epoch: u64,
+    wr: SendWr,
+    rng: &mut SmallRng,
+) {
     let Some(qp) = node.qp(src_qpn) else {
         return; // QP destroyed after posting; nothing to complete into.
     };
+    if qp.epoch() != epoch {
+        // Posted in a previous lease; the QP was reset (recycled into
+        // the node's pool) since. Executing would target the *new*
+        // lessee's connection, and completing would land in the new
+        // lessee's CQ — drop silently, like work on a destroyed QP.
+        return;
+    }
     if qp.state() == QpState::Error {
         complete_send(node, src_qpn, &wr, CqStatus::WorkRequestFlushed, 0);
+        return;
+    }
+    if qp.state() == QpState::Init {
+        // Reset between the epoch check and here, or posted on a QP that
+        // was never brought up: nothing valid to execute against.
         return;
     }
 

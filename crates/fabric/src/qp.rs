@@ -6,6 +6,7 @@
 //! consumed by inbound two-sided traffic.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
@@ -17,6 +18,12 @@ use crate::types::{FabricError, NodeId, QpNum, QpState, Result, Transport};
 use crate::verbs::{RecvWr, SendWr};
 
 /// A queue pair: a send queue / receive queue pair bound to two CQs.
+///
+/// The CQ bindings sit behind a mutex so a pooled QP can be *rebound* to
+/// its next lessee's CQs on reuse (`crates/fabric/src/qpool.rs`); the
+/// `epoch` counter is stamped into every posted work request and bumped
+/// by [`Qp::reset`], so an engine lane silently drops work posted in a
+/// previous lease instead of executing it against the new connection.
 #[derive(Debug)]
 pub struct Qp {
     node: NodeId,
@@ -24,9 +31,10 @@ pub struct Qp {
     transport: Transport,
     state: Mutex<QpState>,
     remote: Mutex<Option<(NodeId, QpNum)>>,
-    send_cq: Arc<CompletionQueue>,
-    recv_cq: Arc<CompletionQueue>,
+    send_cq: Mutex<Arc<CompletionQueue>>,
+    recv_cq: Mutex<Arc<CompletionQueue>>,
     recv_queue: Mutex<VecDeque<RecvWr>>,
+    epoch: AtomicU64,
     engine: Sender<NicCmd>,
 }
 
@@ -45,9 +53,10 @@ impl Qp {
             transport,
             state: Mutex::new(QpState::Init),
             remote: Mutex::new(None),
-            send_cq,
-            recv_cq,
+            send_cq: Mutex::new(send_cq),
+            recv_cq: Mutex::new(recv_cq),
             recv_queue: Mutex::new(VecDeque::new()),
+            epoch: AtomicU64::new(0),
             engine,
         })
     }
@@ -77,14 +86,21 @@ impl Qp {
         *self.remote.lock()
     }
 
-    /// Send-side completion queue.
-    pub fn send_cq(&self) -> &Arc<CompletionQueue> {
-        &self.send_cq
+    /// Send-side completion queue (current binding).
+    pub fn send_cq(&self) -> Arc<CompletionQueue> {
+        Arc::clone(&self.send_cq.lock())
     }
 
-    /// Receive-side completion queue.
-    pub fn recv_cq(&self) -> &Arc<CompletionQueue> {
-        &self.recv_cq
+    /// Receive-side completion queue (current binding).
+    pub fn recv_cq(&self) -> Arc<CompletionQueue> {
+        Arc::clone(&self.recv_cq.lock())
+    }
+
+    /// The QP's lease epoch. Stamped into posted work; bumped by
+    /// [`Qp::reset`] so stale work from a previous lease is dropped by
+    /// the engine instead of executing against the new connection.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Post a send-side work request.
@@ -123,6 +139,7 @@ impl Qp {
         self.engine
             .send(NicCmd::Post {
                 src_qpn: self.qpn,
+                epoch: self.epoch.load(Ordering::Acquire),
                 wr,
             })
             .map_err(|_| FabricError::Shutdown)
@@ -164,10 +181,12 @@ impl Qp {
                 return Err(FabricError::MissingDestination);
             }
         }
+        let epoch = self.epoch.load(Ordering::Acquire);
         for wr in wrs {
             self.engine
                 .send(NicCmd::Post {
                     src_qpn: self.qpn,
+                    epoch,
                     wr: *wr,
                 })
                 .map_err(|_| FabricError::Shutdown)?;
@@ -230,5 +249,30 @@ impl Qp {
     /// the engine as it encounters the state).
     pub fn set_error(&self) {
         *self.state.lock() = QpState::Error;
+    }
+
+    /// Reset the QP for reuse (verbs modify-to-RESET): back to `Init`,
+    /// peer and posted receives cleared, lease epoch bumped so any work
+    /// still queued in the engine from the previous lease is silently
+    /// dropped. The QP number and lane pinning are preserved — that is
+    /// the whole point of pooling (no NIC state reallocation).
+    pub fn reset(&self) {
+        let mut state = self.state.lock();
+        // Bump under the state lock, before the state change is visible:
+        // a post_send racing with reset either sees Rts and stamps the
+        // old epoch (its work is dropped by the engine's epoch check) or
+        // sees Init and is rejected outright.
+        self.epoch.fetch_add(1, Ordering::Release);
+        *self.remote.lock() = None;
+        self.recv_queue.lock().clear();
+        *state = QpState::Init;
+    }
+
+    /// Rebind the QP's completion queues to a new lessee's CQs. Only
+    /// meaningful in the `Init` state (freshly created or reset); the
+    /// pool calls this on lease before the QP is connected.
+    pub fn rebind_cqs(&self, send_cq: &Arc<CompletionQueue>, recv_cq: &Arc<CompletionQueue>) {
+        *self.send_cq.lock() = Arc::clone(send_cq);
+        *self.recv_cq.lock() = Arc::clone(recv_cq);
     }
 }

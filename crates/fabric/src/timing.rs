@@ -78,6 +78,26 @@ pub struct CostModel {
     /// Extra CPU when a lock is contended (spin + cacheline transfer).
     pub cpu_lock_contended_ns: u64,
 
+    // ---- Control plane ----
+    // Verbs control operations are orders of magnitude slower than the
+    // data path (Swift, PAPERS.md): QP creation allocates NIC state over
+    // PCIe config cycles, MR registration pins pages and installs MTT
+    // entries. These price the elastic control plane (QP pool, MR cache).
+    /// Full `ibv_create_qp` + INIT/RTR/RTS bring-up of a fresh QP.
+    pub ctrl_create_qp_ns: u64,
+    /// Recycling a pooled QP: modify-to-RESET plus re-transition to RTS
+    /// (no allocation, no PCIe config cycles).
+    pub ctrl_reset_qp_ns: u64,
+    /// Fixed cost of `ibv_reg_mr`: syscall, pinning setup, MPT entry.
+    pub ctrl_reg_mr_base_ns: u64,
+    /// Per-KB cost of registration (page pinning + MTT installation).
+    pub ctrl_reg_mr_ns_per_kb: u64,
+    /// Cost of `ibv_dereg_mr` (unpinning, MTT teardown).
+    pub ctrl_dereg_mr_ns: u64,
+    /// Host CPU cost per KB to zero a recycled buffer (streaming stores;
+    /// cheaper than a copy, which reads and writes).
+    pub cpu_memset_ns_per_kb: u64,
+
     // ---- Application ----
     /// Baseline RPC handler execution cost.
     pub app_handler_ns: u64,
@@ -112,6 +132,13 @@ impl Default for CostModel {
             cpu_erpc_session_ns: 600,
             cpu_sync_ns: 24,
             cpu_lock_contended_ns: 160,
+
+            ctrl_create_qp_ns: 80_000,
+            ctrl_reset_qp_ns: 2_500,
+            ctrl_reg_mr_base_ns: 30_000,
+            ctrl_reg_mr_ns_per_kb: 800,
+            ctrl_dereg_mr_ns: 8_000,
+            cpu_memset_ns_per_kb: 60,
 
             app_handler_ns: 260,
         }
@@ -158,6 +185,17 @@ impl CostModel {
     pub fn ring_detect_cpu(&self) -> Ns {
         Ns(self.cpu_ring_poll_ns)
     }
+
+    /// Control-plane cost of registering a fresh memory region of `bytes`
+    /// (`ibv_reg_mr`: base syscall/MPT cost plus per-page pinning).
+    pub fn reg_mr_time(&self, bytes: usize) -> Ns {
+        Ns(self.ctrl_reg_mr_base_ns + (bytes as u64 * self.ctrl_reg_mr_ns_per_kb) / 1024)
+    }
+
+    /// Host CPU cost to zero `bytes` of a recycled buffer.
+    pub fn memset_time(&self, bytes: usize) -> Ns {
+        Ns((bytes as u64 * self.cpu_memset_ns_per_kb) / 1024)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +236,21 @@ mod tests {
         // per-packet UD receive CPU far exceeds a ring-buffer probe.
         let m = CostModel::default();
         assert!(m.ud_rx_cpu().as_nanos() > 4 * m.ring_detect_cpu().as_nanos());
+    }
+
+    #[test]
+    fn warm_control_path_is_at_least_10x_cheaper() {
+        // The elasticity story (Swift, PAPERS.md): a pooled-QP lease plus
+        // a cached-MR reuse (reset + memset) must beat cold QP creation
+        // plus registration by an order of magnitude, for the buffer
+        // sizes the connection handle actually registers.
+        let m = CostModel::default();
+        for kb in [4usize, 16, 64] {
+            let bytes = kb * 1024;
+            let cold = m.ctrl_create_qp_ns + m.reg_mr_time(bytes).as_nanos();
+            let warm = m.ctrl_reset_qp_ns + m.memset_time(bytes).as_nanos();
+            assert!(cold >= 10 * warm, "kb={kb} cold={cold} warm={warm}");
+        }
     }
 
     #[test]

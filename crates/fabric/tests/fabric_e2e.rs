@@ -692,3 +692,137 @@ fn multi_lane_engine_preserves_per_qp_fifo() {
         assert_eq!(smr.read_u64(i * 8).unwrap(), (i as u64) << 32 | 63);
     }
 }
+
+// ---- Elastic control plane: QP pool + MR cache ----
+
+fn elastic_fabric() -> Fabric {
+    let mut cfg = FabricConfig::default();
+    cfg.qpool.enabled = true;
+    cfg.qpool.capacity = 8;
+    cfg.mr_cache.enabled = true;
+    cfg.mr_cache.capacity = 8;
+    Fabric::new(cfg)
+}
+
+#[test]
+fn warm_lease_recycles_the_same_qp() {
+    let fabric = elastic_fabric();
+    let node = fabric.add_node("n");
+    let cq1 = node.create_cq(16);
+    let qp = node.lease_qp(Transport::Rc, &cq1, &cq1);
+    let qpn = qp.qpn();
+    assert_eq!(node.pool().stats().cold.load(std::sync::atomic::Ordering::Relaxed), 1);
+    node.release_qp(&qp);
+    assert_eq!(node.pool().len(), 1);
+    drop(qp);
+    let cq2 = node.create_cq(16);
+    let qp2 = node.lease_qp(Transport::Rc, &cq2, &cq2);
+    assert_eq!(qp2.qpn(), qpn, "pool recycles the QP, preserving its QPN");
+    assert_eq!(qp2.state(), QpState::Init);
+    assert!(qp2.remote().is_none());
+    assert_eq!(node.pool().stats().warm.load(std::sync::atomic::Ordering::Relaxed), 1);
+    // The recycled QP is rebound to the new lessee's CQ.
+    assert!(std::sync::Arc::ptr_eq(&qp2.send_cq(), &cq2));
+}
+
+#[test]
+fn stale_work_from_a_previous_lease_is_dropped() {
+    let fabric = elastic_fabric();
+    let a = fabric.add_node("a");
+    let b = fabric.add_node("b");
+    let amr = a.register_mr(4096, Access::LOCAL);
+    let bmr = b.register_mr(4096, Access::REMOTE_ALL);
+    let acq = a.create_cq(16);
+    let bcq = b.create_cq(16);
+    let aqp = a.lease_qp(Transport::Rc, &acq, &acq);
+    let bqp = b.create_qp(Transport::Rc, &bcq, &bcq);
+    flock_fabric::connect_qps(&aqp, &bqp).unwrap();
+    amr.write(0, b"first").unwrap();
+    let wr = SendWr::write(
+        WrId(1),
+        Sge { lkey: amr.lkey(), addr: amr.addr(), len: 5 },
+        RemoteAddr { rkey: bmr.rkey(), addr: bmr.addr() },
+    );
+    aqp.post_send(wr).unwrap();
+    assert!(acq.wait_one(TIMEOUT).unwrap().is_ok());
+    // Reset bumps the epoch: a WR stamped with the old epoch that the
+    // engine sees afterwards must be silently dropped, not executed
+    // against whatever the QP is connected to next.
+    a.release_qp(&aqp);
+    let aqp2 = a.lease_qp(Transport::Rc, &acq, &acq);
+    assert!(std::sync::Arc::ptr_eq(&aqp, &aqp2), "recycled");
+    let b2cq = b.create_cq(16);
+    let b2qp = b.create_qp(Transport::Rc, &b2cq, &b2cq);
+    flock_fabric::connect_qps(&aqp2, &b2qp).unwrap();
+    // Posting on the new lease works; the old lease's epoch is gone.
+    amr.write(0, b"again").unwrap();
+    let wr2 = SendWr::write(
+        WrId(2),
+        Sge { lkey: amr.lkey(), addr: amr.addr(), len: 5 },
+        RemoteAddr { rkey: bmr.rkey(), addr: bmr.addr() },
+    );
+    aqp2.post_send(wr2).unwrap();
+    assert!(acq.wait_one(TIMEOUT).unwrap().is_ok());
+    assert_eq!(bmr.read_vec(0, 5).unwrap(), b"again");
+}
+
+#[test]
+fn disabled_pool_destroys_on_release() {
+    let fabric = Fabric::with_defaults();
+    let node = fabric.add_node("n");
+    let cq = node.create_cq(16);
+    let qp = node.lease_qp(Transport::Rc, &cq, &cq);
+    let qpn = qp.qpn();
+    node.release_qp(&qp);
+    assert_eq!(node.pool().len(), 0);
+    assert!(node.qp(qpn).is_none(), "destroyed, not pooled");
+}
+
+#[test]
+fn pool_capacity_bounds_recycling() {
+    let fabric = elastic_fabric(); // capacity 8
+    let node = fabric.add_node("n");
+    let cq = node.create_cq(16);
+    let qps: Vec<_> = (0..12).map(|_| node.lease_qp(Transport::Rc, &cq, &cq)).collect();
+    for qp in &qps {
+        node.release_qp(qp);
+    }
+    assert_eq!(node.pool().len(), 8);
+    assert_eq!(
+        node.pool().stats().discarded.load(std::sync::atomic::Ordering::Relaxed),
+        4
+    );
+}
+
+#[test]
+fn prewarm_and_refill_counters() {
+    let fabric = elastic_fabric();
+    let node = fabric.add_node("n");
+    assert_eq!(node.prewarm_qps(4), 4);
+    assert_eq!(node.pool().len(), 4);
+    let cq = node.create_cq(16);
+    let qp = node.lease_qp(Transport::Rc, &cq, &cq);
+    assert_eq!(node.pool().stats().warm.load(std::sync::atomic::Ordering::Relaxed), 1);
+    node.release_qp(&qp);
+}
+
+#[test]
+fn mr_cache_reuses_and_zeroes() {
+    let fabric = elastic_fabric();
+    let node = fabric.add_node("n");
+    let mr = node.acquire_mr(1024, Access::REMOTE_WRITE);
+    assert_eq!(node.mr_cache().lock().misses(), 1);
+    mr.write(0, b"dirty").unwrap();
+    let lkey = mr.lkey();
+    node.release_mr(&mr);
+    drop(mr);
+    let mr2 = node.acquire_mr(1024, Access::REMOTE_WRITE);
+    assert_eq!(mr2.lkey(), lkey, "same registration reused");
+    assert_eq!(node.mr_cache().lock().hits(), 1);
+    // Reuse zeroes the buffer: stale ring canaries must not survive.
+    assert_eq!(mr2.read_vec(0, 5).unwrap(), vec![0u8; 5]);
+    // A different layout still registers cold.
+    let other = node.acquire_mr(2048, Access::REMOTE_WRITE);
+    assert_ne!(other.lkey(), lkey);
+    assert_eq!(node.mr_cache().lock().misses(), 2);
+}

@@ -32,6 +32,11 @@ pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("crates/core/src/server.rs", "dispatch_loop"),
     ("crates/fabric/src/nic.rs", "engine_loop"),
     ("crates/fabric/src/nic.rs", "engine_loop_virtual"),
+    // Elastic control plane: churn makes lease/release warm-path — a
+    // reconnecting client must hit the pooled free-list, not the
+    // allocator. Cold-path refills are justified in hotpath.allow.
+    ("crates/fabric/src/fabric.rs", "lease_qp"),
+    ("crates/fabric/src/fabric.rs", "release_qp"),
 ];
 
 /// Maximum call-graph depth explored from an entry point.

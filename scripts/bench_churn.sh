@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Connection-churn benchmark: the elastic control plane (pooled QPs,
+# cached MRs, lazy lanes, graceful detach) inside the deterministic
+# virtual-time lab, written to BENCH_churn.json (see EXPERIMENTS.md
+# "Connection churn").
+#
+# Usage:
+#   scripts/bench_churn.sh            full suite (the checked-in file)
+#   scripts/bench_churn.sh --quick    CI smoke (small cohorts)
+#
+# Extra arguments are passed through, e.g. `--out /tmp/churn.json`.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -p flock-bench --bin bench_churn -- "$@"
