@@ -127,6 +127,7 @@ impl LockSharedClient {
                 client_node: node.id(),
                 client_qps: client_qps.clone(),
                 response_rings,
+                tenant: 0,
                 reply: reply_tx,
             },
         )?;

@@ -1,0 +1,39 @@
+//! Multi-tenant gateway benchmark over the protocol gateway, emitting
+//! `BENCH_tenant.json` (see EXPERIMENTS.md "Multi-tenancy").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flock-bench --bin bench_tenant -- \
+//!     [--quick] [--out PATH]
+//! ```
+//!
+//! Three deterministic virtual-time scenarios: a Zipf-skewed GET/SET
+//! mix, a hot-key storm, and tenant interference (one aggressor vs N
+//! well-behaved tenants, with and without a per-tenant AQP cap). Two
+//! runs of the same configuration produce byte-identical output — CI
+//! diffs them.
+
+use flock_bench::tenant::run_tenant_suite;
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_tenant.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_tenant [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let json = run_tenant_suite(quick, true);
+    std::fs::write(&out, &json).expect("write bench JSON");
+    eprintln!("bench_tenant: wrote {out}");
+    print!("{json}");
+}

@@ -8,6 +8,7 @@
 
 pub mod churn;
 pub mod scale;
+pub mod tenant;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};

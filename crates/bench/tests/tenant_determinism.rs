@@ -1,0 +1,17 @@
+//! Two runs of the multi-tenant gateway suite must render byte-identical
+//! JSON — the property CI's bench-tenant smoke job diffs for, and what
+//! makes `BENCH_tenant.json` reviewable: a diff in the checked-in file
+//! always means a code change, never scheduling noise.
+
+use flock_bench::tenant::run_tenant_suite;
+
+#[test]
+fn quick_suite_is_byte_identical_across_runs() {
+    let a = run_tenant_suite(true, false);
+    let b = run_tenant_suite(true, false);
+    assert_eq!(a, b, "tenant suite must be deterministic");
+    assert!(
+        a.contains("\"schema\": \"flock-bench-tenant/v1\""),
+        "rendered JSON must carry the schema tag CI greps for"
+    );
+}

@@ -64,6 +64,11 @@ pub struct HandleConfig {
     /// dominant MR-registration cost of the handle). Lower it for
     /// connection-churn workloads that never issue one-sided ops.
     pub mem_threads: usize,
+    /// Tenant this handle connects on behalf of (gateway topology;
+    /// [`crate::sched::DEFAULT_TENANT`] = 0 for single-tenant use). The
+    /// server groups senders by tenant for AQP share caps and
+    /// per-tenant accounting.
+    pub tenant: u32,
 }
 
 impl Default for HandleConfig {
@@ -79,6 +84,7 @@ impl Default for HandleConfig {
             timeout: Duration::from_secs(10),
             eager_qps: false,
             mem_threads: MAX_THREADS,
+            tenant: crate::sched::DEFAULT_TENANT,
         }
     }
 }
@@ -331,6 +337,7 @@ impl ConnectionHandle {
                 client_node: node.id(),
                 client_qps: client_qps.clone(),
                 response_rings,
+                tenant: cfg.tenant,
                 reply: reply_tx,
             },
         )?;

@@ -48,6 +48,10 @@ pub struct ConnectRequest {
     pub client_qps: Vec<Arc<Qp>>,
     /// Response rings on the client, one per QP (server writes here).
     pub response_rings: Vec<RingInfo>,
+    /// Tenant this connection acts for (gateway topology; 0 is the
+    /// default tenant). The server groups senders by tenant for AQP
+    /// share caps and per-tenant accounting.
+    pub tenant: u32,
     /// Channel for the server's reply.
     pub reply: Sender<Result<ConnectReply>>,
 }
@@ -226,6 +230,7 @@ mod tests {
             client_node: node.id(),
             client_qps: vec![],
             response_rings: vec![],
+            tenant: 0,
             reply: tx,
         };
         assert!(matches!(
@@ -247,6 +252,7 @@ mod tests {
                 client_node: node.id(),
                 client_qps: vec![],
                 response_rings: vec![],
+                tenant: 0,
                 reply: dummy_tx,
             };
             std::thread::spawn({

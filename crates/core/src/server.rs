@@ -24,6 +24,7 @@ use crate::error::{FlockError, Result};
 use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
 use crate::ring::{RingConsumer, RingLayout, RingProducer};
 use crate::sched::qp::{QpScheduler, QpSchedulerConfig, SenderQp};
+use crate::sched::tenant::{FairnessSnapshot, TenantCounters};
 
 /// Server configuration.
 #[derive(Clone)]
@@ -131,6 +132,13 @@ struct ServerConn {
     sender_id: u32,
     #[allow(dead_code)]
     client_node: NodeId,
+    /// Tenant this connection acts for (from the connect handshake).
+    #[allow(dead_code)]
+    tenant: u32,
+    /// The tenant's shared counter block, cloned out of the scheduler's
+    /// registry at accept time so the dispatch hot path bumps per-tenant
+    /// issued/completed statistics without any lock.
+    counters: Arc<TenantCounters>,
     /// Send CQ shared by this connection's QPs (drained once per
     /// dispatcher sweep).
     send_cq: Arc<CompletionQueue>,
@@ -332,14 +340,14 @@ impl FlockServer {
     /// Respond to a request obtained via [`FlockServer::recv_rpc`]
     /// (`fl_send_res`).
     pub fn send_res(&self, token: RpcToken, data: &[u8]) -> Result<()> {
-        let qp = {
+        let (qp, counters) = {
             let conns = self.inner.conns.read();
             let conn = conns.get(token.conn).ok_or(FlockError::Disconnected)?;
             if conn.departed.load(Ordering::Relaxed) {
                 return Err(FlockError::Disconnected);
             }
             let qp = conn.qps.read().get(token.qp).cloned();
-            qp.ok_or(FlockError::Disconnected)?
+            (qp.ok_or(FlockError::Disconnected)?, Arc::clone(&conn.counters))
         };
         let meta = EntryMeta {
             len: data.len() as u32,
@@ -348,7 +356,9 @@ impl FlockServer {
         };
         // `flush_response` is generic over the payload, so the response
         // bytes go straight from the caller's slice into the staging ring.
-        flush_response(&self.inner, &qp, &[(meta, data)], 0, 0)
+        flush_response(&self.inner, &qp, &[(meta, data)], 0, 0)?;
+        counters.note_completed(1);
+        Ok(())
     }
 
     /// Server statistics.
@@ -359,6 +369,24 @@ impl FlockServer {
     /// Number of QPs currently active under the scheduler.
     pub fn active_qps(&self) -> usize {
         self.inner.qp_sched.lock().total_active()
+    }
+
+    /// Cap `tenant`'s total active QPs (takes effect at the next
+    /// scheduler redistribution). See
+    /// [`crate::sched::QpScheduler::set_tenant_cap`].
+    pub fn set_tenant_cap(&self, tenant: u32, cap: usize) {
+        self.inner.qp_sched.lock().set_tenant_cap(tenant, cap);
+    }
+
+    /// Remove `tenant`'s active-QP cap.
+    pub fn clear_tenant_cap(&self, tenant: u32) {
+        self.inner.qp_sched.lock().clear_tenant_cap(tenant);
+    }
+
+    /// Point-in-time per-tenant fairness view (shares, caps, request
+    /// counters, Jain's index helpers).
+    pub fn fairness_snapshot(&self) -> FairnessSnapshot {
+        self.inner.qp_sched.lock().fairness_snapshot()
     }
 
     /// Stop all server threads and unregister from `domain`.
@@ -481,10 +509,16 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
         qps.push(ctx);
     }
 
-    inner.qp_sched.lock().register_sender(sender_id, n);
+    let counters = {
+        let mut sched = inner.qp_sched.lock();
+        sched.register_sender_tenant(sender_id, n, req.tenant);
+        sched.accounting().counters(req.tenant)
+    };
     conns.push(Arc::new(ServerConn {
         sender_id,
         client_node: req.client_node,
+        tenant: req.tenant,
+        counters,
         send_cq,
         qps: RwLock::new(qps),
         departed: AtomicBool::new(false),
@@ -736,7 +770,9 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                             .fetch_max(view.header.head, Ordering::AcqRel);
                         inner.stats.messages.fetch_add(1, Ordering::Relaxed);
                         responses.clear();
+                        let mut entries = 0u64;
                         for (meta, range) in view.entry_ranges() {
+                            entries += 1;
                             inner.stats.requests.fetch_add(1, Ordering::Relaxed);
                             if let Some(h) = handlers.get(&meta.rpc_id) {
                                 clock::charge(inner.cost.cpu_codec_ns + inner.cost.app_handler_ns);
@@ -768,10 +804,16 @@ fn dispatch_loop(inner: &Arc<ServerInner>, worker: usize) {
                                 });
                             }
                         }
+                        // Per-tenant accounting: lock-free Relaxed bumps
+                        // on the shared counter block (never through the
+                        // scheduler mutex).
+                        conn.counters.note_issued(entries);
                         if !responses.is_empty() {
                             // Responses coalesce into one message, like
                             // requests (paper §4.3).
-                            let _ = flush_response(inner, qp, &responses, 0, 0);
+                            if flush_response(inner, qp, &responses, 0, 0).is_ok() {
+                                conn.counters.note_completed(responses.len() as u64);
+                            }
                         } else {
                             // Manual-path-only message: nothing to send
                             // now, but the consumed head must still reach
@@ -937,8 +979,12 @@ fn qp_sched_loop(inner: &Arc<ServerInner>) {
     // The park cap matches the seed's fixed 200 µs sleep, but the ladder
     // reaches it only after spinning and yielding through idle rounds —
     // a credit request arriving at a busy server is now picked up in
-    // microseconds instead of a fixed 200 µs snooze.
-    let mut idler = flock_sync::AdaptiveBackoff::new(Duration::from_micros(200));
+    // microseconds instead of a fixed 200 µs snooze. Under virtual time
+    // the cap is 1 µs like the dispatch loop's: the model is a dedicated
+    // polling core, and a 200 µs virtual nap would turn every credit
+    // renewal that lands in it into a hundreds-of-µs client stall.
+    let mut idler = flock_sync::AdaptiveBackoff::new(Duration::from_micros(200))
+        .with_virtual_cap(1_000);
     while !inner.stop.load(Ordering::Relaxed) {
         let mut progressed = false;
         imms.clear();

@@ -166,6 +166,174 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Tenant share caps hold under arbitrary arrival/departure/cap
+    /// interleavings: after every redistribution, each capped tenant's
+    /// active total is at most `max(cap, senders_of_tenant)` (per-sender
+    /// floors win over the cap), and the uncapped consistency invariants
+    /// keep holding. This is satellite 2 of the gateway PR: the
+    /// isolation property the tenant bench relies on, checked on the
+    /// raw state machine.
+    #[test]
+    fn tenant_caps_hold_under_churn_interleavings(
+        ops in vec((0u8..6, 0u32..6, 1usize..5), 1..64),
+        max_aqp in 2usize..16,
+    ) {
+        let mut s = sched(max_aqp);
+        let mut live: Vec<u32> = Vec::new();
+        let mut caps: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for (op, id, arg) in ops {
+            let tenant = id % 3; // a few tenants, senders spread across them
+            match op {
+                0 => {
+                    if !live.contains(&id) {
+                        s.register_sender_tenant(id, arg, tenant);
+                        live.push(id);
+                        prop_assert_eq!(s.tenant_of(id), Some(tenant));
+                    }
+                }
+                1 => {
+                    s.unregister_sender(id);
+                    live.retain(|&x| x != id);
+                }
+                2 => {
+                    let before = s.tenant_active(tenant);
+                    if s.add_qp(id).is_some() {
+                        if let Some(&cap) = caps.get(&tenant) {
+                            // A lazily attached lane never pushes a
+                            // capped tenant past its cap.
+                            prop_assert!(
+                                s.tenant_active(tenant) <= before.max(cap),
+                                "add_qp grew tenant {} past cap {}", tenant, cap
+                            );
+                        }
+                    }
+                }
+                3 => {
+                    s.on_credit_request(SenderQp { sender: id, qp: arg - 1 }, arg as u16);
+                }
+                4 => {
+                    s.set_tenant_cap(tenant, arg);
+                    caps.insert(tenant, arg);
+                    prop_assert_eq!(s.tenant_cap(tenant), Some(arg));
+                }
+                _ => {
+                    s.redistribute();
+                    for (&t, &cap) in &caps {
+                        let senders = live.iter().filter(|&&x| x % 3 == t).count();
+                        let effective = cap.max(senders);
+                        prop_assert!(
+                            s.tenant_active(t) <= effective,
+                            "tenant {} holds {} active over effective cap {} ({} senders)",
+                            t, s.tenant_active(t), effective, senders
+                        );
+                    }
+                    for &x in &live {
+                        prop_assert!(active_count(&s, x) >= 1, "sender {} starved", x);
+                    }
+                }
+            }
+            let from_maps: usize = live.iter().map(|&x| active_count(&s, x)).sum();
+            prop_assert_eq!(s.total_active(), from_maps, "total_active out of sync");
+            // The snapshot's per-tenant totals agree with the maps.
+            let snap = s.fairness_snapshot();
+            prop_assert_eq!(snap.total_active, from_maps);
+            for row in &snap.tenants {
+                prop_assert_eq!(
+                    row.active_qps,
+                    s.tenant_active(row.tenant),
+                    "snapshot row for tenant {} out of sync", row.tenant
+                );
+            }
+        }
+    }
+
+    /// Equal-weight tenants settle fair: identical sender/lane/load
+    /// shapes per tenant must yield Jain's index ≥ 0.9 on active-QP
+    /// shares in steady state (acceptance criterion of the tenant
+    /// bench, checked on the state machine directly).
+    #[test]
+    fn equal_weight_tenants_settle_above_point_nine_jains(
+        n_tenants in 2usize..6,
+        senders_per_tenant in 1usize..4,
+        n_qps in 1usize..6,
+        load in 1u64..32,
+        max_aqp in 4usize..64,
+        intervals in 1usize..5,
+    ) {
+        let mut s = sched(max_aqp);
+        let mut id = 0u32;
+        for t in 0..n_tenants as u32 {
+            for _ in 0..senders_per_tenant {
+                s.register_sender_tenant(id, n_qps, t + 1);
+                id += 1;
+            }
+        }
+        for _ in 0..intervals {
+            // Identical load: every sender reports `load` degree-1
+            // renewals on each of its lanes.
+            for sender in 0..id {
+                for qp in 0..n_qps {
+                    for _ in 0..load {
+                        s.on_credit_request(SenderQp { sender, qp }, 1);
+                    }
+                }
+            }
+            s.redistribute();
+        }
+        let snap = s.fairness_snapshot();
+        let j = snap.jains_active();
+        prop_assert!(
+            j >= 0.9,
+            "equal-weight tenants settled unfair: Jain {} over {:?}",
+            j, snap.tenants
+        );
+    }
+
+    /// Budget safety with caps in play: the clamp pass reclaims lanes
+    /// and the grant pass re-issues at most that many, so capped
+    /// redistribution never exceeds the uncapped budget envelope.
+    #[test]
+    fn capped_redistribution_respects_global_budget(
+        n_qps in vec(1usize..8, 2..10),
+        util in vec(0u64..64, 2..10),
+        max_aqp in 2usize..32,
+        cap in 1usize..8,
+    ) {
+        let n = n_qps.len().min(util.len());
+        let mut s = sched(max_aqp);
+        for (i, &q) in n_qps.iter().take(n).enumerate() {
+            // Two tenants: evens capped, odds free.
+            s.register_sender_tenant(i as u32, q, (i % 2) as u32);
+        }
+        s.set_tenant_cap(0, cap);
+        report(&mut s, &util[..n]);
+        s.redistribute();
+
+        let mut busy_total = 0usize;
+        for i in 0..n {
+            let a = active_count(&s, i as u32);
+            prop_assert!(a >= 1, "sender {} starved", i);
+            prop_assert!(a <= n_qps[i], "sender {} over its lanes", i);
+            if util[i] > 0 {
+                busy_total += a;
+            }
+        }
+        let floors = util[..n].iter().filter(|&&u| u > 0).count();
+        prop_assert!(
+            busy_total <= max_aqp + floors,
+            "busy shares {} blow the budget {} (+{} floors) with caps on",
+            busy_total, max_aqp, floors
+        );
+        let evens = (0..n).filter(|i| i % 2 == 0).count();
+        prop_assert!(
+            s.tenant_active(0) <= cap.max(evens),
+            "capped tenant holds {} over effective cap {}",
+            s.tenant_active(0), cap.max(evens)
+        );
+    }
+}
+
 /// Build thread stats from raw (median, requests) pairs; ids are the
 /// vector positions, bytes the product (what the sender tracker records).
 fn threads_from(raw: &[(u32, u64)]) -> Vec<ThreadLoadStats> {

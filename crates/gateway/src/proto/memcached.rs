@@ -1,0 +1,148 @@
+//! Memcached-text-style protocol handler.
+//!
+//! The subset the gateway speaks (enough for GET/SET/PING workloads;
+//! the grammar follows the classic memcached ASCII protocol):
+//!
+//! ```text
+//! get <key>\r\n
+//! set <key> <flags> <exptime> <len>\r\n<len bytes>\r\n
+//! ping\r\n
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! VALUE <key> 0 <len>\r\n<len bytes>\r\nEND\r\n   (hit)
+//! END\r\n                                          (miss)
+//! STORED\r\n
+//! PONG\r\n
+//! CLIENT_ERROR <reason>\r\n
+//! ```
+//!
+//! `<flags>` and `<exptime>` are parsed and ignored (the kvstore keeps
+//! neither); responses always echo flags `0`.
+
+use super::{
+    check_key, find_crlf, parse_usize, Decoded, ProtoError, Request, Response, WireProtocol,
+    MAX_VALUE_LEN,
+};
+
+/// The memcached-text protocol handler (stateless; one instance can be
+/// shared by every session speaking this protocol).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemcachedText;
+
+impl WireProtocol for MemcachedText {
+    fn name(&self) -> &'static str {
+        "memcached-text"
+    }
+
+    fn decode<'a>(&self, buf: &'a [u8]) -> Result<Decoded<'a>, ProtoError> {
+        let Some(eol) = find_crlf(buf)? else {
+            return Ok(Decoded::NeedMore);
+        };
+        let line = &buf[..eol];
+        let mut tokens = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
+        let cmd = tokens.next().ok_or(ProtoError::Malformed("empty command line"))?;
+        match cmd {
+            b"get" => {
+                let key = tokens.next().ok_or(ProtoError::Malformed("get without key"))?;
+                if tokens.next().is_some() {
+                    // Multi-key get is real memcached; the gateway keeps
+                    // one-key frames so a frame maps to one backend RPC.
+                    return Err(ProtoError::Malformed("multi-key get unsupported"));
+                }
+                check_key(key)?;
+                Ok(Decoded::Frame {
+                    req: Request::Get { key },
+                    consumed: eol + 2,
+                })
+            }
+            b"set" => {
+                let key = tokens.next().ok_or(ProtoError::Malformed("set without key"))?;
+                check_key(key)?;
+                let _flags = parse_usize(tokens.next().ok_or(ProtoError::Malformed("set without flags"))?)?;
+                let _exptime =
+                    parse_usize(tokens.next().ok_or(ProtoError::Malformed("set without exptime"))?)?;
+                let len = parse_usize(tokens.next().ok_or(ProtoError::Malformed("set without length"))?)?;
+                if tokens.next().is_some() {
+                    return Err(ProtoError::Malformed("trailing tokens after set length"));
+                }
+                if len > MAX_VALUE_LEN {
+                    return Err(ProtoError::ValueTooLong);
+                }
+                // Data block: <len bytes>\r\n after the command line.
+                let data_start = eol + 2;
+                let frame_end = data_start
+                    .checked_add(len)
+                    .and_then(|e| e.checked_add(2))
+                    .ok_or(ProtoError::Malformed("length overflow"))?;
+                if buf.len() < frame_end {
+                    return Ok(Decoded::NeedMore);
+                }
+                if &buf[data_start + len..frame_end] != b"\r\n" {
+                    return Err(ProtoError::Malformed("data block not CRLF-terminated"));
+                }
+                Ok(Decoded::Frame {
+                    req: Request::Set {
+                        key,
+                        value: &buf[data_start..data_start + len],
+                    },
+                    consumed: frame_end,
+                })
+            }
+            b"ping" => {
+                if tokens.next().is_some() {
+                    return Err(ProtoError::Malformed("ping takes no arguments"));
+                }
+                Ok(Decoded::Frame {
+                    req: Request::Ping,
+                    consumed: eol + 2,
+                })
+            }
+            _ => Err(ProtoError::Malformed("unknown command")),
+        }
+    }
+
+    fn encode_request(&self, req: &Request<'_>, out: &mut Vec<u8>) {
+        match req {
+            Request::Get { key } => {
+                out.extend_from_slice(b"get ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(b"\r\n");
+            }
+            Request::Set { key, value } => {
+                out.extend_from_slice(b"set ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(b" 0 0 ");
+                super::push_decimal(out, value.len());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(value);
+                out.extend_from_slice(b"\r\n");
+            }
+            Request::Ping => out.extend_from_slice(b"ping\r\n"),
+        }
+    }
+
+    fn encode_response(&self, resp: &Response<'_>, out: &mut Vec<u8>) {
+        match resp {
+            Response::Value { key, value: Some(v) } => {
+                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(b" 0 ");
+                super::push_decimal(out, v.len());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(v);
+                out.extend_from_slice(b"\r\nEND\r\n");
+            }
+            Response::Value { value: None, .. } => out.extend_from_slice(b"END\r\n"),
+            Response::Stored => out.extend_from_slice(b"STORED\r\n"),
+            Response::Pong => out.extend_from_slice(b"PONG\r\n"),
+            Response::Error(why) => {
+                out.extend_from_slice(b"CLIENT_ERROR ");
+                out.extend_from_slice(why.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+        }
+    }
+}

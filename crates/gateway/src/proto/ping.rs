@@ -1,0 +1,51 @@
+//! Trivial line-based ping protocol (harness tests and liveness
+//! checks): the only valid frame is `PING\r\n`, answered `PONG\r\n`.
+//! GET/SET cannot be encoded; encoding them debug-asserts and emits an
+//! error frame in release builds.
+
+use super::{find_crlf, Decoded, ProtoError, Request, Response, WireProtocol};
+
+/// The ping protocol handler (stateless).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PingProto;
+
+impl WireProtocol for PingProto {
+    fn name(&self) -> &'static str {
+        "ping"
+    }
+
+    fn decode<'a>(&self, buf: &'a [u8]) -> Result<Decoded<'a>, ProtoError> {
+        let Some(eol) = find_crlf(buf)? else {
+            // Reject early once the prefix can no longer be `PING`.
+            if !b"PING".starts_with(&buf[..buf.len().min(4)]) {
+                return Err(ProtoError::Malformed("expected PING"));
+            }
+            return Ok(Decoded::NeedMore);
+        };
+        if &buf[..eol] != b"PING" {
+            return Err(ProtoError::Malformed("expected PING"));
+        }
+        Ok(Decoded::Frame {
+            req: Request::Ping,
+            consumed: eol + 2,
+        })
+    }
+
+    fn encode_request(&self, req: &Request<'_>, out: &mut Vec<u8>) {
+        debug_assert!(matches!(req, Request::Ping), "ping protocol is ping-only");
+        out.extend_from_slice(b"PING\r\n");
+    }
+
+    fn encode_response(&self, resp: &Response<'_>, out: &mut Vec<u8>) {
+        match resp {
+            Response::Pong => out.extend_from_slice(b"PONG\r\n"),
+            Response::Error(why) => {
+                out.extend_from_slice(b"ERROR ");
+                out.extend_from_slice(why.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            // GET/SET responses cannot occur on a ping-only session.
+            _ => out.extend_from_slice(b"ERROR unsupported\r\n"),
+        }
+    }
+}

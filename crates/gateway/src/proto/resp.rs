@@ -1,0 +1,196 @@
+//! RESP-style (Redis serialization protocol) handler.
+//!
+//! Requests are RESP arrays of bulk strings:
+//!
+//! ```text
+//! *2\r\n$3\r\nGET\r\n$<k>\r\n<key>\r\n
+//! *3\r\n$3\r\nSET\r\n$<k>\r\n<key>\r\n$<v>\r\n<value>\r\n
+//! *1\r\n$4\r\nPING\r\n
+//! ```
+//!
+//! Responses: bulk string (`$<len>\r\n<value>\r\n`) or null bulk
+//! (`$-1\r\n`) for GET, `+OK\r\n` for SET, `+PONG\r\n` for PING,
+//! `-ERR <reason>\r\n` for errors. Command names are case-insensitive,
+//! as in Redis.
+
+use super::{
+    check_key, find_crlf, parse_usize, Decoded, ProtoError, Request, Response, WireProtocol,
+    MAX_VALUE_LEN,
+};
+
+/// The RESP protocol handler (stateless).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Resp;
+
+/// One parsed bulk string: byte range within the buffer plus where the
+/// next element starts.
+struct Bulk {
+    start: usize,
+    len: usize,
+    next: usize,
+}
+
+/// Parse `$<len>\r\n<len bytes>\r\n` at `at`. `Ok(None)` means the
+/// buffered prefix is valid but incomplete.
+fn parse_bulk(buf: &[u8], at: usize) -> Result<Option<Bulk>, ProtoError> {
+    let rest = buf.get(at..).unwrap_or(&[]);
+    if rest.is_empty() {
+        return Ok(None);
+    }
+    if rest[0] != b'$' {
+        return Err(ProtoError::Malformed("expected bulk string"));
+    }
+    let Some(eol) = find_crlf(&rest[1..])? else {
+        return Ok(None);
+    };
+    let len = parse_usize(&rest[1..1 + eol])?;
+    if len > MAX_VALUE_LEN {
+        return Err(ProtoError::ValueTooLong);
+    }
+    let start = 1 + eol + 2;
+    let end = start
+        .checked_add(len)
+        .and_then(|e| e.checked_add(2))
+        .ok_or(ProtoError::Malformed("length overflow"))?;
+    if rest.len() < end {
+        return Ok(None);
+    }
+    if &rest[start + len..end] != b"\r\n" {
+        return Err(ProtoError::Malformed("bulk string not CRLF-terminated"));
+    }
+    Ok(Some(Bulk {
+        start: at + start,
+        len,
+        next: at + end,
+    }))
+}
+
+fn eq_ignore_case(a: &[u8], b: &str) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.as_bytes())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+impl WireProtocol for Resp {
+    fn name(&self) -> &'static str {
+        "resp"
+    }
+
+    fn decode<'a>(&self, buf: &'a [u8]) -> Result<Decoded<'a>, ProtoError> {
+        if buf.is_empty() {
+            return Ok(Decoded::NeedMore);
+        }
+        if buf[0] != b'*' {
+            return Err(ProtoError::Malformed("expected array header"));
+        }
+        let Some(eol) = find_crlf(&buf[1..])? else {
+            return Ok(Decoded::NeedMore);
+        };
+        let n_elems = parse_usize(&buf[1..1 + eol])?;
+        if n_elems == 0 || n_elems > 3 {
+            return Err(ProtoError::Malformed("unsupported array length"));
+        }
+        let mut at = 1 + eol + 2;
+        let mut elems: [Option<Bulk>; 3] = [None, None, None];
+        for slot in elems.iter_mut().take(n_elems) {
+            match parse_bulk(buf, at)? {
+                Some(b) => {
+                    at = b.next;
+                    *slot = Some(b);
+                }
+                None => return Ok(Decoded::NeedMore),
+            }
+        }
+        let arg = |i: usize| -> &'a [u8] {
+            match &elems[i] {
+                Some(b) => &buf[b.start..b.start + b.len],
+                // Unreachable: every slot up to n_elems was filled above,
+                // and commands index only within n_elems.
+                None => &[],
+            }
+        };
+        let cmd = arg(0);
+        if eq_ignore_case(cmd, "GET") {
+            if n_elems != 2 {
+                return Err(ProtoError::Malformed("GET takes one key"));
+            }
+            let key = arg(1);
+            check_key(key)?;
+            Ok(Decoded::Frame {
+                req: Request::Get { key },
+                consumed: at,
+            })
+        } else if eq_ignore_case(cmd, "SET") {
+            if n_elems != 3 {
+                return Err(ProtoError::Malformed("SET takes key and value"));
+            }
+            let key = arg(1);
+            check_key(key)?;
+            Ok(Decoded::Frame {
+                req: Request::Set {
+                    key,
+                    value: arg(2),
+                },
+                consumed: at,
+            })
+        } else if eq_ignore_case(cmd, "PING") {
+            if n_elems != 1 {
+                return Err(ProtoError::Malformed("PING takes no arguments"));
+            }
+            Ok(Decoded::Frame {
+                req: Request::Ping,
+                consumed: at,
+            })
+        } else {
+            Err(ProtoError::Malformed("unknown command"))
+        }
+    }
+
+    fn encode_request(&self, req: &Request<'_>, out: &mut Vec<u8>) {
+        fn bulk(out: &mut Vec<u8>, bytes: &[u8]) {
+            out.push(b'$');
+            super::push_decimal(out, bytes.len());
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(bytes);
+            out.extend_from_slice(b"\r\n");
+        }
+        match req {
+            Request::Get { key } => {
+                out.extend_from_slice(b"*2\r\n");
+                bulk(out, b"GET");
+                bulk(out, key);
+            }
+            Request::Set { key, value } => {
+                out.extend_from_slice(b"*3\r\n");
+                bulk(out, b"SET");
+                bulk(out, key);
+                bulk(out, value);
+            }
+            Request::Ping => {
+                out.extend_from_slice(b"*1\r\n");
+                bulk(out, b"PING");
+            }
+        }
+    }
+
+    fn encode_response(&self, resp: &Response<'_>, out: &mut Vec<u8>) {
+        match resp {
+            Response::Value { value: Some(v), .. } => {
+                out.push(b'$');
+                super::push_decimal(out, v.len());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(v);
+                out.extend_from_slice(b"\r\n");
+            }
+            Response::Value { value: None, .. } => out.extend_from_slice(b"$-1\r\n"),
+            Response::Stored => out.extend_from_slice(b"+OK\r\n"),
+            Response::Pong => out.extend_from_slice(b"+PONG\r\n"),
+            Response::Error(why) => {
+                out.extend_from_slice(b"-ERR ");
+                out.extend_from_slice(why.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The edge-side tenant registry: which tenant does a session act for?
+//!
+//! Real deployments derive the tenant from authentication (listener
+//! port, TLS SNI, SASL user). Here the acceptor supplies it when a
+//! session opens; the registry is the single source of truth mapping
+//! live sessions to tenants, and the gateway keys its shared backend
+//! connections off it.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// Identifies one edge session for its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// Session → tenant map. Sessions register at accept time and
+/// unregister when their connection closes; ids are never reused (a
+/// monotone counter), so a stale id can never alias a new session.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next: u64,
+    sessions: BTreeMap<SessionId, u32>,
+}
+
+impl TenantRegistry {
+    /// Register a new session for `tenant`, returning its id.
+    pub fn open(&self, tenant: u32) -> SessionId {
+        let mut inner = self.inner.write();
+        let id = SessionId(inner.next);
+        inner.next += 1;
+        inner.sessions.insert(id, tenant);
+        id
+    }
+
+    /// Remove a session; returns its tenant if it was registered.
+    pub fn close(&self, session: SessionId) -> Option<u32> {
+        self.inner.write().sessions.remove(&session)
+    }
+
+    /// The tenant a live session acts for.
+    pub fn tenant_of(&self, session: SessionId) -> Option<u32> {
+        self.inner.read().sessions.get(&session).copied()
+    }
+
+    /// Live session count for `tenant`.
+    pub fn sessions_of(&self, tenant: u32) -> usize {
+        self.inner
+            .read()
+            .sessions
+            .values()
+            .filter(|&&t| t == tenant)
+            .count()
+    }
+
+    /// Total live sessions.
+    pub fn len(&self) -> usize {
+        self.inner.read().sessions.len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().sessions.is_empty()
+    }
+
+    /// Distinct tenants with at least one live session, ascending.
+    pub fn tenants(&self) -> Vec<u32> {
+        let inner = self.inner.read();
+        let mut out: Vec<u32> = inner.sessions.values().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_register_and_ids_never_reuse() {
+        let reg = TenantRegistry::default();
+        let a = reg.open(1);
+        let b = reg.open(2);
+        let c = reg.open(1);
+        assert_ne!(a, b);
+        assert_eq!(reg.tenant_of(a), Some(1));
+        assert_eq!(reg.sessions_of(1), 2);
+        assert_eq!(reg.tenants(), vec![1, 2]);
+        assert_eq!(reg.close(a), Some(1));
+        assert_eq!(reg.close(a), None, "double close is inert");
+        assert_eq!(reg.tenant_of(a), None);
+        let d = reg.open(3);
+        assert!(d.0 > c.0, "ids are monotone, never recycled");
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+}

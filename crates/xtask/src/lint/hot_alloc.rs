@@ -37,6 +37,11 @@ pub const ENTRY_POINTS: &[(&str, &str)] = &[
     // allocator. Cold-path refills are justified in hotpath.allow.
     ("crates/fabric/src/fabric.rs", "lease_qp"),
     ("crates/fabric/src/fabric.rs", "release_qp"),
+    // Gateway edge loop: every tenant request flows through the
+    // decode/dispatch pump, making it hot-path by construction; the
+    // session reuses its decode scratch, so steady-state pumping must
+    // not allocate per request.
+    ("crates/gateway/src/edge.rs", "pump"),
 ];
 
 /// Maximum call-graph depth explored from an entry point.

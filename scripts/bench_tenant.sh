@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Multi-tenant gateway benchmark: wire-protocol edge sessions fanning
+# into a kvstore-backed Flock server over shared, capped per-tenant
+# connections, inside the deterministic virtual-time lab, written to
+# BENCH_tenant.json (see EXPERIMENTS.md "Multi-tenancy").
+#
+# Usage:
+#   scripts/bench_tenant.sh            full suite (the checked-in file)
+#   scripts/bench_tenant.sh --quick    CI smoke (small cohorts)
+#
+# Extra arguments are passed through, e.g. `--out /tmp/tenant.json`.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -p flock-bench --bin bench_tenant -- "$@"
