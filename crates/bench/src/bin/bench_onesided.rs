@@ -1,0 +1,38 @@
+//! RPC-vs-one-sided crossover benchmark, emitting `BENCH_onesided.json`
+//! (see EXPERIMENTS.md "RPC vs one-sided crossover").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flock-bench --bin bench_onesided -- \
+//!     [--quick] [--out PATH]
+//! ```
+//!
+//! Every (clients, value size, write mix) point runs three times —
+//! always-RPC, always-one-sided, adaptive — inside the deterministic
+//! virtual-time lab. Two runs of the same configuration produce
+//! byte-identical output — CI diffs them.
+
+use flock_bench::onesided::run_onesided_suite;
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_onesided.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_onesided [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let json = run_onesided_suite(quick, true);
+    std::fs::write(&out, &json).expect("write bench JSON");
+    eprintln!("bench_onesided: wrote {out}");
+    print!("{json}");
+}

@@ -6,7 +6,9 @@
 //! `benches/micro.rs` holds Criterion microbenchmarks of the core data
 //! structures. See EXPERIMENTS.md for paper-vs-measured values.
 
+pub mod arrival;
 pub mod churn;
+pub mod onesided;
 pub mod scale;
 pub mod tenant;
 

@@ -36,6 +36,8 @@ use flock_sim::rng::{SimRng, ZipfTable};
 use flock_sim::vtime::VirtualLab;
 use flock_sync::clock;
 
+use crate::arrival::RateRamp;
+
 /// Knobs shared by the three scenarios.
 #[derive(Debug, Clone, Copy)]
 pub struct TenantWorkload {
@@ -53,7 +55,10 @@ pub struct TenantWorkload {
     pub seed: u64,
     /// Well-behaved tenants in the interference scenario.
     pub victims: usize,
-    /// Requests per victim session in the interference scenario.
+    /// Target requests per victim session in the interference scenario,
+    /// split equally across the three stages of the arrival-rate ramp
+    /// (the realized count is the ramp schedule's draw, identical in
+    /// all three runs).
     pub victim_reqs: u64,
     /// Busy edge sessions the aggressor tenant drives.
     pub aggr_sessions: usize,
@@ -117,13 +122,48 @@ fn elastic_fabric() -> FabricConfig {
 /// accounting is designed around.
 const MIX_GAP_NS: f64 = 5_000.0;
 
-/// Mean inter-request gap for victim sessions in the interference
-/// scenario (virtual ns).
+/// Nominal mean inter-request gap for victim sessions in the
+/// interference scenario (virtual ns) — the middle stage of the ramp.
 const VICTIM_GAP_NS: f64 = 2_000.0;
+
+/// The victims' open-loop arrival-rate ramp: each session walks slow →
+/// nominal → fast offered load (mean gaps 2x, 1x, 0.5x the nominal), an
+/// equal target share of `victim_reqs` per stage. The p99 comparison
+/// then covers the whole rate range rather than one operating point, so
+/// a cap that only holds at light load cannot pass. The schedule is
+/// drawn from each session's own RNG, identically in all three runs.
+fn victim_ramp(victim_reqs: u64) -> RateRamp {
+    RateRamp::per_stage_target(
+        &[2.0 * VICTIM_GAP_NS, VICTIM_GAP_NS, 0.5 * VICTIM_GAP_NS],
+        victim_reqs / 3,
+    )
+}
 
 /// Edge sessions per victim tenant: enough concurrency that the
 /// tenant's AQP share translates into batching delay when squeezed.
 const VICTIM_SESSIONS: usize = 4;
+
+/// Virtual ns after `go` before the aggressor's sessions start
+/// hammering: deep into the victims' slow ramp stage, so the burst
+/// lands on a converged worker cut (see the aggressor task body).
+/// Scaled with the ramp so the burst hits the same *phase* of the
+/// victims' slow stage at every `victim_reqs` (the realized stage span
+/// grows linearly: each arrival's round-trip serializes after its
+/// drawn gap). 250 µs is the calibrated quick-scale (96-request)
+/// phase; a fixed delay instead lands at a different point of the
+/// re-cut cycle at full scale and the measured ratios stop comparing
+/// like with like.
+fn aggr_burst_delay_ns(victim_reqs: u64) -> u64 {
+    victim_reqs * 250_000 / 96
+}
+
+/// Virtual ns after `go` at which lane shares are sampled: one
+/// scheduler epoch (and change) past the burst, inside the victims'
+/// nominal-rate middle stage, so the snapshot shows the re-cut that
+/// responded to the burst.
+fn share_snapshot_ns(victim_reqs: u64) -> u64 {
+    aggr_burst_delay_ns(victim_reqs) + 200_000
+}
 
 /// Client-side thread-scheduler interval for gateway connections. The
 /// default (10 ms) never fires inside a sub-millisecond scenario; this
@@ -363,6 +403,12 @@ pub struct InterferenceOutcome {
     pub max_aqp: usize,
     /// The cap applied in the capped run.
     pub aggr_cap: usize,
+    /// Mean inter-arrival gaps of the victims' rate ramp, slow → fast
+    /// (virtual ns).
+    pub victim_ramp_gaps_ns: [f64; 3],
+    /// Realized victim arrivals per run — a pure function of the ramp
+    /// schedule's draws, so identical in all three runs (asserted).
+    pub victim_ops: u64,
     /// Victim p99 with no aggressor (virtual µs).
     pub baseline_p99_us: f64,
     /// Victim p99 with the aggressor uncapped (virtual µs).
@@ -391,10 +437,13 @@ pub struct InterferenceOutcome {
     pub tasks: u64,
 }
 
-/// One interference run. Returns (sorted victim latencies ns, aggressor
-/// ops, victim lanes mid-run, aggressor lanes mid-run).
-fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize, usize, u64, u64) {
-    let ((lats, aggr_ops, victim_lanes, aggr_lanes), report) = VirtualLab::run_report(move || {
+/// One interference run. Returns (sorted middle-half victim latencies
+/// ns, total victim ops, aggressor ops, victim lanes mid-run, aggressor
+/// lanes mid-run, handovers, tasks).
+type InterferenceRun = (Vec<u64>, u64, u64, usize, usize, u64, u64);
+
+fn interference_run(w: TenantWorkload, mode: AggrMode) -> InterferenceRun {
+    let (run, report) = VirtualLab::run_report(move || {
         let domain = Arc::new(FlockDomain::new(elastic_fabric()));
         let server_node = domain.add_node("ten-int-srv");
         let mut scfg = ServerConfig::default();
@@ -461,10 +510,12 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
         let rows: Rows = Arc::new(Mutex::new(Vec::new()));
 
         let mut root = SimRng::new(w.seed);
+        let ramp = victim_ramp(w.victim_reqs);
         let mut victim_tasks = Vec::new();
         for (tenant, s, mut sess) in victim_sessions {
             let go = Arc::clone(&go);
             let rows = Arc::clone(&rows);
+            let ramp = ramp.clone();
             let mut rng = root.fork((u64::from(tenant) << 8) | s as u64);
             victim_tasks.push(clock::spawn(&format!("victim-{tenant}-{s}"), move || {
                 while !go.load(Ordering::Acquire) {
@@ -474,9 +525,16 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
                 let mut wire = Vec::new();
                 MemcachedText.encode_request(&Request::Get { key: key.as_bytes() }, &mut wire);
                 let mut out = Vec::new();
-                let mut lats = Vec::with_capacity(w.victim_reqs as usize);
-                for _ in 0..w.victim_reqs {
-                    clock::sleep_ns(rng.exp(VICTIM_GAP_NS) as u64);
+                let mut lats = Vec::with_capacity(ramp.expected_arrivals() as usize + 8);
+                // Walk the arrival-rate ramp on the *scheduled* timeline
+                // (cumulative drawn gaps), not the wall clock: the number
+                // and spacing of arrivals is then a pure function of the
+                // session's RNG, so all three runs offer the same load
+                // and only the measured latencies differ.
+                let mut sched_ns = 0u64;
+                while let Some(gap) = ramp.gap_at(sched_ns, &mut rng) {
+                    sched_ns += gap;
+                    clock::sleep_ns(gap);
                     out.clear();
                     let at = clock::now_ns();
                     sess.pump(&wire, &mut out).expect("victim pump");
@@ -487,6 +545,7 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
         }
 
         let mut aggr_tasks = Vec::new();
+        let burst_delay = aggr_burst_delay_ns(w.victim_reqs);
         for (s, mut sess) in aggr_sessions {
             let go = Arc::clone(&go);
             let stop = Arc::clone(&stop);
@@ -507,6 +566,13 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
                     &mut wire,
                 );
                 let mut out = Vec::new();
+                // Burst in mid-ramp: the victims' slow first stage lets
+                // the receiver's worker cut converge on a quiet cohort,
+                // and the aggressor then arrives at full blast into that
+                // converged state -- the lane-stealing scenario a cap
+                // exists for. (An aggressor present from t=0 just gets
+                // packed separately by the first cut and never hurts.)
+                clock::sleep_ns(burst_delay);
                 while !stop.load(Ordering::Acquire) {
                     out.clear();
                     sess.pump(&wire, &mut out).expect("aggressor pump");
@@ -516,8 +582,8 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
         }
 
         go.store(true, Ordering::Release);
-        // Sample lane shares mid-run, after several scheduler epochs.
-        clock::sleep_ns(300_000);
+        // Sample lane shares mid-run (see `share_snapshot_ns`).
+        clock::sleep_ns(share_snapshot_ns(w.victim_reqs));
         let snap = server.fairness_snapshot();
         let victim_lanes: usize = (1..=w.victims as u32)
             .filter_map(|t| snap.tenant(t).map(|r| r.active_qps))
@@ -546,22 +612,34 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
                 .expect("all domain users joined"),
         );
 
-        // Keep each session's middle half: the first quarter is scheduler
-        // warm-up, and the last quarter is cohort wind-down (as sessions
-        // finish, victim utilization collapses and their lanes get
-        // re-cut, which stalls the stragglers in *every* mode). The same
-        // cut everywhere means the ratios compare converged states.
+        // Keep each session's middle *stage* of the arrival ramp: the
+        // slow first stage doubles as scheduler warm-up, and the fast
+        // last stage self-queues (arrivals outpace one session's
+        // round-trips) and overlaps cohort wind-down, both of which
+        // inflate p99 identically in *every* mode and would wash out
+        // the aggressor's effect. The nominal-rate stage, same cut
+        // everywhere, is where the ratios compare converged states.
         let mut collected = std::mem::take(&mut *rows.lock().unwrap());
         collected.sort_unstable_by_key(|(t, s, _)| (*t, *s));
         let mut all: Vec<u64> = Vec::new();
+        let mut victim_ops = 0u64;
         for (_t, _s, l) in &collected {
-            all.extend_from_slice(&l[l.len() / 4..3 * l.len() / 4]);
+            victim_ops += l.len() as u64;
+            all.extend_from_slice(&l[l.len() / 3..2 * l.len() / 3]);
         }
         all.sort_unstable();
-        (all, aggr_ops.load(Ordering::Relaxed), victim_lanes, aggr_lanes)
+        (
+            all,
+            victim_ops,
+            aggr_ops.load(Ordering::Relaxed),
+            victim_lanes,
+            aggr_lanes,
+        )
     });
+    let (lats, victim_ops, aggr_ops, victim_lanes, aggr_lanes) = run;
     (
         lats,
+        victim_ops,
         aggr_ops,
         victim_lanes,
         aggr_lanes,
@@ -573,9 +651,13 @@ fn interference_run(w: TenantWorkload, mode: AggrMode) -> (Vec<u64>, u64, usize,
 /// Run the interference scenario: baseline, uncapped, capped — same
 /// victim workload in each.
 pub fn run_interference(w: TenantWorkload) -> InterferenceOutcome {
-    let (base, _, _, _, h0, t0) = interference_run(w, AggrMode::Absent);
-    let (unc, aggr_unc, unc_vl, unc_al, h1, t1) = interference_run(w, AggrMode::Uncapped);
-    let (cap, aggr_cap, cap_vl, cap_al, h2, t2) = interference_run(w, AggrMode::Capped);
+    let (base, base_ops, _, _, _, h0, t0) = interference_run(w, AggrMode::Absent);
+    let (unc, unc_ops, aggr_unc, unc_vl, unc_al, h1, t1) = interference_run(w, AggrMode::Uncapped);
+    let (cap, cap_ops, aggr_cap, cap_vl, cap_al, h2, t2) = interference_run(w, AggrMode::Capped);
+    // The ramp schedule is drawn from per-session RNGs, never the
+    // server: every mode must offer the exact same load.
+    assert_eq!(base_ops, unc_ops, "offered load differs across runs");
+    assert_eq!(base_ops, cap_ops, "offered load differs across runs");
     let baseline_p99_us = percentile_us(&base, 0.99);
     let uncapped_p99_us = percentile_us(&unc, 0.99);
     let capped_p99_us = percentile_us(&cap, 0.99);
@@ -585,6 +667,8 @@ pub fn run_interference(w: TenantWorkload) -> InterferenceOutcome {
         aggr_sessions: w.aggr_sessions,
         max_aqp: w.max_aqp,
         aggr_cap: w.aggr_cap,
+        victim_ramp_gaps_ns: [2.0 * VICTIM_GAP_NS, VICTIM_GAP_NS, 0.5 * VICTIM_GAP_NS],
+        victim_ops: base_ops,
         baseline_p99_us,
         uncapped_p99_us,
         capped_p99_us,
@@ -699,6 +783,12 @@ pub fn render_json(
     j.push_str("  \"interference\": {\n");
     let _ = writeln!(j, "    \"victims\": {},", intf.victims);
     let _ = writeln!(j, "    \"victim_reqs\": {},", w.victim_reqs);
+    let _ = writeln!(
+        j,
+        "    \"victim_ramp_gaps_ns\": [{:.0}, {:.0}, {:.0}],",
+        intf.victim_ramp_gaps_ns[0], intf.victim_ramp_gaps_ns[1], intf.victim_ramp_gaps_ns[2]
+    );
+    let _ = writeln!(j, "    \"victim_ops\": {},", intf.victim_ops);
     let _ = writeln!(j, "    \"aggr_sessions\": {},", intf.aggr_sessions);
     let _ = writeln!(j, "    \"max_aqp\": {},", intf.max_aqp);
     let _ = writeln!(j, "    \"aggr_cap\": {},", intf.aggr_cap);

@@ -12,16 +12,16 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
 use flock_fabric::{
-    Access, CostModel, CqOpcode, MemoryRegion, Node, NodeId, Qp, RemoteAddr, SendWr, Sge,
-    Transport, WrId,
+    Access, CompletionQueue, CostModel, CqOpcode, MemoryRegion, Node, NodeId, Qp, RemoteAddr,
+    SendWr, Sge, Transport, WrId,
 };
 use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::credit::{CreditState, MedianWindow};
 use crate::domain::{
-    await_reply, AttachRequest, ConnectRequest, CtrlMsg, DetachRequest, FlockDomain, MemRegionInfo,
-    RingInfo,
+    await_reply, AttachMemRequest, AttachRequest, ConnectRequest, CtrlMsg, DetachRequest,
+    ExportRequest, FlockDomain, MemRegionInfo, RingInfo, SegmentLease,
 };
 use crate::error::{FlockError, Result};
 use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
@@ -69,6 +69,15 @@ pub struct HandleConfig {
     /// server groups senders by tenant for AQP share caps and
     /// per-tenant accounting.
     pub tenant: u32,
+    /// Give every registered thread a dedicated RC QP for its one-sided
+    /// operations (the conventional FaRM/HERD design) instead of riding
+    /// the shared RPC lanes' doorbells. This is the faithful one-sided
+    /// baseline for the crossover experiments: per-thread QPs multiply
+    /// per-client NIC connection state with fan-in — the state Flock's
+    /// QP sharing amortizes away — so the responder's connection cache
+    /// starts missing once total readers exceed its reach. Default off:
+    /// Flock proper coalesces memory ops onto the shared lanes.
+    pub dedicated_mem_qps: bool,
 }
 
 impl Default for HandleConfig {
@@ -85,6 +94,7 @@ impl Default for HandleConfig {
             eager_qps: false,
             mem_threads: MAX_THREADS,
             tenant: crate::sched::DEFAULT_TENANT,
+            dedicated_mem_qps: false,
         }
     }
 }
@@ -145,6 +155,11 @@ struct MemPending {
     scratch_off: usize,
     /// Bytes to copy out on success.
     result_len: usize,
+    /// Deferred completion: the dispatcher publishes only a marker and
+    /// leaves the payload in scratch until the issuing thread copies it
+    /// out with [`FlThread::take_deferred`] — the one-sided fast path
+    /// stays allocation-free this way.
+    defer: bool,
 }
 
 /// A point-in-time snapshot of one QP lane's counters.
@@ -178,12 +193,21 @@ pub struct HandleMetrics {
 }
 
 /// A handle to an in-flight one-sided operation (coroutine-style
-/// pipelining, paper §8.5.2). Obtain via [`FlThread::read_async`] or
-/// [`FlThread::write_async`]; poll with [`FlThread::try_mem`] or block
-/// with [`FlThread::wait_mem`].
+/// pipelining, paper §8.5.2). Obtain via [`FlThread::read_async`],
+/// [`FlThread::write_async`], or [`FlThread::read_batch`]; poll with
+/// [`FlThread::try_mem`], block with [`FlThread::wait_mem`], or — for
+/// deferred batch reads — copy out with [`FlThread::take_deferred`].
 #[derive(Debug, Clone, Copy)]
 pub struct MemToken {
     wr_id: u64,
+    /// Scratch sub-slots held until the result is consumed (deferred
+    /// reads free them in `take_deferred`, everything else in the
+    /// dispatcher).
+    mask: u8,
+    /// Absolute scratch offset of the landing zone.
+    scratch_off: usize,
+    /// Bytes the operation reads back.
+    len: usize,
 }
 
 /// Per-application-thread context.
@@ -205,6 +229,11 @@ pub(crate) struct ThreadCtx {
     mem_cond: Condvar,
     /// Bitmap of free scratch sub-slots.
     mem_free: Mutex<u8>,
+    /// This thread's dedicated one-sided QP
+    /// ([`HandleConfig::dedicated_mem_qps`]); empty when memory ops
+    /// coalesce onto the shared lanes (the default), or when the
+    /// mem-QP attach failed and the thread fell back to them.
+    mem_qp: OnceLock<Arc<Qp>>,
 }
 
 /// Shared state behind a [`ConnectionHandle`].
@@ -234,6 +263,10 @@ pub(crate) struct HandleInner {
     mem_regions: Vec<MemRegionInfo>,
     mem_mr: Arc<MemoryRegion>,
     mem_wr_seq: AtomicU64,
+    /// Send CQ shared by the dedicated mem QPs (when
+    /// [`HandleConfig::dedicated_mem_qps`] is set): one poll point for
+    /// the dispatcher regardless of how many threads attached a QP.
+    mem_cq: Option<Arc<CompletionQueue>>,
     /// Fabric cost model: charges virtual CPU time for host-side work
     /// (doorbells, memcpys, polling) under a virtual-time executor;
     /// charges are no-ops in threaded mode.
@@ -372,6 +405,7 @@ impl ConnectionHandle {
             mem_regions: reply.memory_regions,
             mem_mr,
             mem_wr_seq: AtomicU64::new(1),
+            mem_cq: cfg.dedicated_mem_qps.then(|| node.create_cq(1024)),
             cost: domain.fabric().config().cost.clone(),
             stop: AtomicBool::new(false),
             released: AtomicBool::new(false),
@@ -407,6 +441,29 @@ impl ConnectionHandle {
         &self.inner.mem_regions
     }
 
+    /// Fetch the server's exported one-sided segment leases
+    /// ([`CtrlMsg::Export`]), optionally filtered by exact name.
+    ///
+    /// One control-plane round trip; the returned leases are
+    /// self-contained (slot `i` of a segment lives at
+    /// `region.addr + i * stride` under `region.rkey`), so every
+    /// subsequent read is a pure one-sided verb with no further
+    /// control traffic.
+    pub fn fetch_exports(&self, filter: Option<&str>) -> Result<Vec<SegmentLease>> {
+        if self.inner.stop.load(Ordering::Relaxed) {
+            return Err(FlockError::Disconnected);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.inner
+            .ctrl
+            .send(CtrlMsg::Export(ExportRequest {
+                filter: filter.map(str::to_string),
+                reply: reply_tx,
+            }))
+            .map_err(|_| FlockError::Disconnected)?;
+        await_reply(&reply_rx).map(|r| r.segments)
+    }
+
     /// Register the calling application thread; returns its `FlThread`.
     ///
     /// First use of a not-yet-materialized QP lane happens here: the
@@ -438,6 +495,7 @@ impl ConnectionHandle {
                 mem_results: Mutex::new(HashMap::new()),
                 mem_cond: Condvar::new(),
                 mem_free: Mutex::new(0xFF),
+                mem_qp: OnceLock::new(),
             });
             threads.push(Arc::clone(&ctx));
             self.inner
@@ -454,6 +512,14 @@ impl ConnectionHandle {
         };
         ctx.current_qp.store(lane, Ordering::Relaxed);
         ctx.target_qp.store(lane, Ordering::Relaxed);
+        // Dedicated mem QP, best-effort like the lane attach above: a
+        // thread that cannot get one falls back to the shared-lane TCQ
+        // path for its one-sided ops.
+        if self.inner.cfg.dedicated_mem_qps {
+            if let Ok(qp) = attach_mem_qp(&self.inner) {
+                assert!(ctx.mem_qp.set(qp).is_ok(), "fresh thread ctx");
+            }
+        }
         FlThread {
             ctx,
             inner: Arc::clone(&self.inner),
@@ -575,6 +641,11 @@ impl ConnectionHandle {
                 self.inner.node.release_qp(&lane.qp);
                 self.inner.node.release_mr(&lane.resp_mr);
                 self.inner.node.release_mr(&lane.staging);
+            }
+            for t in self.inner.threads.read().iter() {
+                if let Some(qp) = t.mem_qp.get() {
+                    self.inner.node.release_qp(qp);
+                }
             }
             self.inner.node.release_mr(&self.inner.mem_mr);
         }
@@ -870,8 +941,6 @@ impl FlThread {
         scratch_off: usize,
         result_len: usize,
     ) -> Result<MemToken> {
-        let qp_idx = self.migrate_if_idle();
-        let qp = self.inner.lane(qp_idx);
         let wr_seq = self.inner.mem_wr_seq.fetch_add(1, Ordering::Relaxed);
         let wr_id = ((self.ctx.id as u64) << 32) | (wr_seq & 0xFFFF_FFFF);
         wr.wr_id = WrId(wr_id);
@@ -881,18 +950,38 @@ impl FlThread {
                 mask,
                 scratch_off,
                 result_len,
+                defer: false,
             },
         );
-        // Memory ops also coalesce through Flock synchronization (§6): the
-        // leader links the batch's work requests into one doorbell.
-        match qp
-            .tcq
-            .join_with(ClientReq::Mem(wr), || self.inner.boarding_window())
-        {
-            Outcome::Lead(batch) => leader_flush(&self.inner, qp, batch)?,
-            Outcome::Sent => {}
+        if let Some(mqp) = self.ctx.mem_qp.get() {
+            // Dedicated mem QP: the conventional one-sided design pays a
+            // verb and a doorbell per op — a per-thread QP has no
+            // combining partner.
+            if let Err(e) = mqp.post_send(wr) {
+                self.ctx.mem_pending.lock().remove(&wr_id);
+                *self.ctx.mem_free.lock() |= mask;
+                return Err(e.into());
+            }
+            clock::charge(self.inner.cost.cpu_doorbell_ns);
+        } else {
+            // Memory ops also coalesce through Flock synchronization (§6):
+            // the leader links the batch's work requests into one doorbell.
+            let qp_idx = self.migrate_if_idle();
+            let qp = self.inner.lane(qp_idx);
+            match qp
+                .tcq
+                .join_with(ClientReq::Mem(wr), || self.inner.boarding_window())
+            {
+                Outcome::Lead(batch) => leader_flush(&self.inner, qp, batch)?,
+                Outcome::Sent => {}
+            }
         }
-        Ok(MemToken { wr_id })
+        Ok(MemToken {
+            wr_id,
+            mask,
+            scratch_off,
+            len: result_len,
+        })
     }
 
     /// Non-blocking poll of an in-flight one-sided op.
@@ -993,6 +1082,202 @@ impl FlThread {
             },
         );
         self.start_mem(wr, mask, scratch, 0)
+    }
+
+    /// Issue up to [`MEM_SUBSLOTS`] one-sided READs against raw
+    /// [`RemoteAddr`]es as one doorbell-batched chain.
+    ///
+    /// This is the one-sided fast path: the caller is its own combining
+    /// leader, so the work requests bypass the TCQ and go straight to
+    /// the lane's QP with `post_send_many` — N verbs, one doorbell
+    /// (exactly what `flush_parts` does for TCQ-coalesced memory ops).
+    /// Each read lands in its own scratch sub-slot and **stays there**:
+    /// the dispatcher publishes only a completion marker, and the bytes
+    /// are copied out by [`FlThread::take_deferred`] into a
+    /// caller-provided buffer. With a reused `tokens` vector the whole
+    /// issue/validate loop allocates nothing in steady state.
+    ///
+    /// Each read must fit one sub-slot ([`MEM_SUBSLOT_SIZE`] bytes).
+    pub fn read_batch(
+        &self,
+        reads: &[(RemoteAddr, usize)],
+        tokens: &mut Vec<MemToken>,
+    ) -> Result<()> {
+        let n = reads.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if n > MEM_SUBSLOTS {
+            return Err(FlockError::RemoteOpFailed(
+                "read batch exceeds scratch sub-slots",
+            ));
+        }
+        let mut masks = [0u8; MEM_SUBSLOTS];
+        let mut offs = [0usize; MEM_SUBSLOTS];
+        for (i, &(_, len)) in reads.iter().enumerate() {
+            let got = if len > MEM_SUBSLOT_SIZE {
+                Err(FlockError::MessageTooLarge {
+                    need: len,
+                    capacity: MEM_SUBSLOT_SIZE,
+                })
+            } else {
+                self.acquire_scratch_blocking(len)
+            };
+            match got {
+                Ok((m, o)) => {
+                    masks[i] = m;
+                    offs[i] = o;
+                }
+                Err(e) => {
+                    let mut free = self.ctx.mem_free.lock();
+                    for &m in &masks[..i] {
+                        *free |= m;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // Dedicated mem QP when configured; otherwise the thread's shared
+        // RPC lane, whose doorbell the chain shares with coalesced traffic.
+        let lane;
+        let post_qp: &Arc<Qp> = match self.ctx.mem_qp.get() {
+            Some(q) => q,
+            None => {
+                lane = self.inner.lane(self.migrate_if_idle());
+                &lane.qp
+            }
+        };
+        let base_seq = self.inner.mem_wr_seq.fetch_add(n as u64, Ordering::Relaxed);
+        // Fixed-size WR chain on the stack; indices past `n` duplicate
+        // the last real read and are never posted.
+        let wrs: [SendWr; MEM_SUBSLOTS] = std::array::from_fn(|i| {
+            let j = i.min(n - 1);
+            let wr_id = ((self.ctx.id as u64) << 32) | ((base_seq + j as u64) & 0xFFFF_FFFF);
+            let scratch = self.scratch_off() + offs[j];
+            SendWr::read(
+                WrId(wr_id),
+                Sge {
+                    lkey: self.inner.mem_mr.lkey(),
+                    addr: self.inner.mem_mr.addr() + scratch as u64,
+                    len: reads[j].1,
+                },
+                reads[j].0,
+            )
+        });
+        {
+            let mut pending = self.ctx.mem_pending.lock();
+            for i in 0..n {
+                pending.insert(
+                    wrs[i].wr_id.0,
+                    MemPending {
+                        mask: masks[i],
+                        scratch_off: self.scratch_off() + offs[i],
+                        result_len: reads[i].1,
+                        defer: true,
+                    },
+                );
+            }
+        }
+        if let Err(e) = post_qp.post_send_many(&wrs[..n]) {
+            let mut pending = self.ctx.mem_pending.lock();
+            for wr in &wrs[..n] {
+                pending.remove(&wr.wr_id.0);
+            }
+            drop(pending);
+            let mut free = self.ctx.mem_free.lock();
+            for &m in &masks[..n] {
+                *free |= m;
+            }
+            return Err(e.into());
+        }
+        clock::charge(self.inner.cost.cpu_doorbell_ns);
+        for (i, wr) in wrs[..n].iter().enumerate() {
+            tokens.push(MemToken {
+                wr_id: wr.wr_id.0,
+                mask: masks[i],
+                scratch_off: self.scratch_off() + offs[i],
+                len: reads[i].1,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copy a deferred read's bytes out of the scratch MR into `out`
+    /// (no allocation) and release its sub-slot. Blocks until the
+    /// completion arrives; returns the number of bytes copied.
+    pub fn take_deferred(&self, token: MemToken, out: &mut [u8]) -> Result<usize> {
+        match self.wait_marker(token)? {
+            Ok(()) => {
+                let n = token.len.min(out.len());
+                let copied = self.inner.mem_mr.read(token.scratch_off, &mut out[..n]);
+                *self.ctx.mem_free.lock() |= token.mask;
+                copied.map_err(|_| FlockError::RemoteOpFailed("scratch read failed"))?;
+                Ok(n)
+            }
+            Err(e) => {
+                *self.ctx.mem_free.lock() |= token.mask;
+                Err(FlockError::RemoteOpFailed(e))
+            }
+        }
+    }
+
+    /// Block until a deferred op's completion marker is published.
+    /// Outer `Err` is a local failure (timeout/disconnect); the inner
+    /// result is the remote completion status.
+    fn wait_marker(&self, token: MemToken) -> Result<std::result::Result<(), &'static str>> {
+        if clock::is_virtual() {
+            // Virtual-time poll; see `recv_res`.
+            let deadline = clock::deadline(self.inner.cfg.timeout);
+            loop {
+                if let Some(r) = self.ctx.mem_results.lock().remove(&token.wr_id) {
+                    return Ok(r.map(|_| ()));
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    return Err(FlockError::Disconnected);
+                }
+                if clock::expired(deadline) {
+                    return self.abandon_deferred(token);
+                }
+                clock::sleep_ns(500);
+            }
+        }
+        let deadline = Instant::now() + self.inner.cfg.timeout;
+        let mut results = self.ctx.mem_results.lock();
+        loop {
+            if let Some(r) = results.remove(&token.wr_id) {
+                return Ok(r.map(|_| ()));
+            }
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return Err(FlockError::Disconnected);
+            }
+            if self
+                .ctx
+                .mem_cond
+                .wait_until(&mut results, deadline)
+                .timed_out()
+            {
+                drop(results);
+                return self.abandon_deferred(token);
+            }
+        }
+    }
+
+    /// Deadline hit on a deferred op: downgrade its pending entry so
+    /// the late completion releases the scratch itself — unless the
+    /// completion landed between the last poll and now, in which case
+    /// consume it as a success.
+    fn abandon_deferred(&self, token: MemToken) -> Result<std::result::Result<(), &'static str>> {
+        let mut pending = self.ctx.mem_pending.lock();
+        if let Some(p) = pending.get_mut(&token.wr_id) {
+            p.defer = false;
+            p.result_len = 0;
+            return Err(FlockError::Timeout);
+        }
+        drop(pending);
+        match self.ctx.mem_results.lock().remove(&token.wr_id) {
+            Some(r) => Ok(r.map(|_| ())),
+            None => Err(FlockError::Timeout),
+        }
     }
 
     /// Submit a one-sided op through the TCQ and wait for its completion.
@@ -1131,6 +1416,32 @@ fn attach_one_lane(inner: &Arc<HandleInner>) -> Result<()> {
     inner.lanes[idx].set(ctx).ok().expect("attach single-flight");
     inner.lane_count.store(idx + 1, Ordering::Release);
     Ok(())
+}
+
+/// Lease a dedicated per-thread one-sided QP and pair it with the
+/// server (`CtrlMsg::AttachMem`): one control-plane round trip per
+/// registered thread. All mem QPs share the handle's `mem_cq`, so the
+/// dispatcher gains one poll point, not one per thread.
+fn attach_mem_qp(inner: &Arc<HandleInner>) -> Result<Arc<Qp>> {
+    let cq = inner.mem_cq.as_ref().expect("mem CQ exists when dedicated_mem_qps");
+    let qp = inner.node.lease_qp(Transport::Rc, cq, cq);
+    let (reply_tx, reply_rx) = bounded(1);
+    let sent = inner
+        .ctrl
+        .send(CtrlMsg::AttachMem(AttachMemRequest {
+            sender_id: inner.sender_id,
+            client_qp: Arc::clone(&qp),
+            reply: reply_tx,
+        }))
+        .map_err(|_| FlockError::Disconnected)
+        .and_then(|()| await_reply(&reply_rx));
+    match sent {
+        Ok(_reply) => Ok(qp),
+        Err(e) => {
+            inner.node.release_qp(&qp);
+            Err(e)
+        }
+    }
 }
 
 /// Leader-side flush scratch, reused across batches by each thread: any
@@ -1416,45 +1727,17 @@ fn dispatcher_loop(inner: &HandleInner) {
             }
             // Response ring.
             let polled = { qp.resp_cons.lock().poll(&qp.resp_mr) };
-            match polled {
-                Ok(Some(m)) => {
-                    progressed = true;
-                    clock::charge(inner.cost.cpu_ring_poll_ns);
-                    let head_after = { qp.resp_cons.lock().head() };
-                    qp.resp_head_shared.store(head_after, Ordering::Release);
-                    let view = m.view();
-                    let h = view.header;
-                    qp.server_head.fetch_max(h.head, Ordering::AcqRel);
-                    if h.flags & FLAG_CREDIT_GRANT != 0 {
-                        let (granted, _) = msg::unpack_aux(h.aux);
-                        let mut credits = qp.credits.lock();
-                        if granted == 0 {
-                            credits.decline();
-                            qp.active.store(false, Ordering::Release);
-                        } else {
-                            credits.grant(granted);
-                            qp.active.store(true, Ordering::Release);
-                        }
-                        qp.credit_cond.notify_all();
-                    }
-                    let threads = inner.threads.read();
-                    for (meta, range) in view.entry_ranges() {
-                        clock::charge(inner.cost.cpu_codec_ns);
-                        if let Some(t) = threads.get(meta.thread_id as usize) {
-                            // Zero-copy: each response entry is a slice of
-                            // the shared coalesced-message buffer; the one
-                            // copy out of the ring happened in `poll`.
-                            t.inbox.lock().insert(meta.seq, m.bytes().slice(range));
-                            t.inbox_cond.notify_all();
-                        }
-                    }
-                }
-                Ok(None) => {
-                    clock::charge(inner.cost.cpu_poll_empty_ns);
-                }
-                Err(_) => {
-                    // Corrupt ring: fatal for this connection.
-                    inner.stop.store(true, Ordering::SeqCst);
+            handle_ring_poll(inner, qp, polled, &mut progressed);
+        }
+        // Dedicated mem QPs share one send CQ; their one-sided
+        // completions route exactly like the lanes' do.
+        if let Some(cq) = &inner.mem_cq {
+            drained.clear();
+            if cq.poll(&mut drained, usize::MAX) > 0 {
+                progressed = true;
+                clock::charge(inner.cost.cpu_poll_cqe_ns * drained.len() as u64);
+                for c in &drained {
+                    route_completion(inner, c);
                 }
             }
         }
@@ -1471,6 +1754,57 @@ fn dispatcher_loop(inner: &HandleInner) {
     for t in inner.threads.read().iter() {
         t.inbox_cond.notify_all();
         t.mem_cond.notify_all();
+    }
+}
+
+/// Fold one lane's response-ring poll result into the dispatcher sweep:
+/// piggybacked heads, credit grants, and per-thread response routing.
+fn handle_ring_poll(
+    inner: &HandleInner,
+    qp: &ClientQpCtx,
+    polled: Result<Option<crate::ring::OwnedMsg>>,
+    progressed: &mut bool,
+) {
+    match polled {
+        Ok(Some(m)) => {
+            *progressed = true;
+            clock::charge(inner.cost.cpu_ring_poll_ns);
+            let head_after = { qp.resp_cons.lock().head() };
+            qp.resp_head_shared.store(head_after, Ordering::Release);
+            let view = m.view();
+            let h = view.header;
+            qp.server_head.fetch_max(h.head, Ordering::AcqRel);
+            if h.flags & FLAG_CREDIT_GRANT != 0 {
+                let (granted, _) = msg::unpack_aux(h.aux);
+                let mut credits = qp.credits.lock();
+                if granted == 0 {
+                    credits.decline();
+                    qp.active.store(false, Ordering::Release);
+                } else {
+                    credits.grant(granted);
+                    qp.active.store(true, Ordering::Release);
+                }
+                qp.credit_cond.notify_all();
+            }
+            let threads = inner.threads.read();
+            for (meta, range) in view.entry_ranges() {
+                clock::charge(inner.cost.cpu_codec_ns);
+                if let Some(t) = threads.get(meta.thread_id as usize) {
+                    // Zero-copy: each response entry is a slice of
+                    // the shared coalesced-message buffer; the one
+                    // copy out of the ring happened in `poll`.
+                    t.inbox.lock().insert(meta.seq, m.bytes().slice(range));
+                    t.inbox_cond.notify_all();
+                }
+            }
+        }
+        Ok(None) => {
+            clock::charge(inner.cost.cpu_poll_empty_ns);
+        }
+        Err(_) => {
+            // Corrupt ring: fatal for this connection.
+            inner.stop.store(true, Ordering::SeqCst);
+        }
     }
 }
 
@@ -1494,7 +1828,12 @@ fn route_completion(inner: &HandleInner, c: &flock_fabric::Completion) {
         return; // stale completion from a timed-out, abandoned op
     };
     let result = if c.is_ok() {
-        if p.result_len > 0 {
+        if p.defer {
+            // Deferred op: publish only a marker. The payload stays in
+            // scratch until the issuing thread copies it out with
+            // `take_deferred` — no allocation on this path.
+            Ok(Vec::new())
+        } else if p.result_len > 0 {
             inner
                 .mem_mr
                 .read_vec(p.scratch_off, p.result_len)
@@ -1505,8 +1844,11 @@ fn route_completion(inner: &HandleInner, c: &flock_fabric::Completion) {
     } else {
         Err("remote operation completed with error status")
     };
-    // Release the scratch sub-slots, then publish the result.
-    *t.mem_free.lock() |= p.mask;
+    // Release the scratch sub-slots, then publish the result. Deferred
+    // ops keep their sub-slots until `take_deferred` consumes the bytes.
+    if !p.defer {
+        *t.mem_free.lock() |= p.mask;
+    }
     t.mem_results.lock().insert(c.wr_id.0, result);
     t.mem_cond.notify_all();
 }

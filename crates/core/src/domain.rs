@@ -100,6 +100,66 @@ pub struct AttachReply {
     pub initial_credits: u32,
 }
 
+/// Request to pair a dedicated one-sided ("mem") QP with a live
+/// connection — the conventional FaRM/HERD-style per-thread QP design,
+/// used as the one-sided baseline in the crossover experiments. The
+/// server leases a passive peer QP and connects the pair; mem QPs carry
+/// only one-sided verbs, join no dispatch shard and no QP-scheduler
+/// sender, and are released in one batch at detach. That uncoordinated
+/// per-client NIC state is exactly what the paper's RPC design
+/// amortizes away (§2).
+pub struct AttachMemRequest {
+    /// The sender id the server assigned at connect time.
+    pub sender_id: u32,
+    /// The client's freshly leased per-thread QP.
+    pub client_qp: Arc<Qp>,
+    /// Channel for the server's reply.
+    pub reply: Sender<Result<AttachMemReply>>,
+}
+
+/// Server's reply to an [`AttachMemRequest`].
+#[derive(Debug, Clone)]
+pub struct AttachMemReply {
+    /// The passive server QP paired with the client's mem QP.
+    pub server_qp: QpNum,
+}
+
+/// A named, exported slice of server memory a client may read with
+/// one-sided verbs: `slots` fixed-`stride` records starting at
+/// `region.addr`. The lease is self-contained — a client computes the
+/// [`flock_fabric::RemoteAddr`] of slot `i` as
+/// `region.addr + i * stride` with `region.rkey`, with no further
+/// control-plane traffic per read.
+#[derive(Debug, Clone)]
+pub struct SegmentLease {
+    /// Export name chosen by the server (e.g. `"kv-values"`).
+    pub name: String,
+    /// The backing memory region (rkey, base address, length).
+    pub region: MemRegionInfo,
+    /// Bytes per slot.
+    pub stride: u32,
+    /// Number of slots.
+    pub slots: u32,
+    /// Layout-specific metadata the exporter wants the reader to know
+    /// (e.g. the value capacity inside a versioned slot).
+    pub meta: u64,
+}
+
+/// Request for the server's exported one-sided segments.
+pub struct ExportRequest {
+    /// If set, only segments whose name matches exactly are returned.
+    pub filter: Option<String>,
+    /// Channel for the server's reply.
+    pub reply: Sender<Result<ExportReply>>,
+}
+
+/// Server's reply to an [`ExportRequest`].
+#[derive(Debug, Clone)]
+pub struct ExportReply {
+    /// The matching segment leases, in registration order.
+    pub segments: Vec<SegmentLease>,
+}
+
 /// Request to gracefully tear a connection down. The server quiesces
 /// the departing sender's QPs out of its dispatch shards before
 /// replying, so the client can recycle its resources immediately.
@@ -120,8 +180,12 @@ pub enum CtrlMsg {
     Connect(ConnectRequest),
     /// Materialize one more data lane on a live connection.
     Attach(AttachRequest),
+    /// Pair a dedicated one-sided QP with a live connection.
+    AttachMem(AttachMemRequest),
     /// Graceful teardown of a live connection.
     Detach(DetachRequest),
+    /// Fetch the server's exported one-sided segment leases.
+    Export(ExportRequest),
 }
 
 /// The in-process "datacenter": a fabric plus a server name registry.

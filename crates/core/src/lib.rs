@@ -51,21 +51,25 @@
 //! server.shutdown(&domain);
 //! ```
 
+pub mod alock;
 pub mod api;
 pub mod client;
 pub mod credit;
 pub mod domain;
 pub mod error;
 pub mod msg;
+pub mod onesided;
 pub mod ring;
 pub mod sched;
 pub mod server;
 pub mod sync;
 pub mod tcq;
 
+pub use alock::{ALock, LockWord, RemoteLockWord};
 pub use bytes::Bytes;
 pub use client::{ConnectionHandle, FlThread, HandleConfig, HandleMetrics, MemToken, QpMetrics};
-pub use domain::{FlockDomain, MemRegionInfo, RingInfo};
+pub use domain::{FlockDomain, MemRegionInfo, RingInfo, SegmentLease};
+pub use onesided::{OneSidedReader, SegmentWriter, SlotLayout};
 pub use error::{FlockError, Result};
 pub use server::{auto_dispatch_threads, lpt_partition, FlockServer, ServerConfig};
 pub use tcq::Tcq;

@@ -17,8 +17,8 @@ use flock_sync::clock::{self, TaskHandle};
 use parking_lot::{Mutex, RwLock};
 
 use crate::domain::{
-    AttachReply, AttachRequest, ConnectReply, ConnectRequest, CtrlMsg, FlockDomain,
-    MemRegionInfo, RingInfo,
+    AttachMemReply, AttachMemRequest, AttachReply, AttachRequest, ConnectReply, ConnectRequest,
+    CtrlMsg, ExportReply, FlockDomain, MemRegionInfo, RingInfo, SegmentLease,
 };
 use crate::error::{FlockError, Result};
 use crate::msg::{self, EntryMeta, EntryRef, MsgHeader, FLAG_CREDIT_GRANT};
@@ -147,6 +147,12 @@ struct ServerConn {
     /// dispatchers never take it on the hot path — they clone the list
     /// into their generation-stamped partition snapshot.
     qps: RwLock<Vec<Arc<ServerQpCtx>>>,
+    /// Passive peers of the client's dedicated one-sided QPs
+    /// ([`CtrlMsg::AttachMem`]). Never polled or dispatched — one-sided
+    /// verbs complete on the requester's CQ — but each one is live NIC
+    /// connection state on this node, competing for the connection
+    /// cache exactly as the paper's crossover argument describes.
+    mem_qps: Mutex<Vec<Arc<Qp>>>,
     /// Graceful-teardown tombstone: a departed connection stays in the
     /// `conns` slot (indices are stable) but leaves every snapshot.
     departed: AtomicBool,
@@ -179,6 +185,10 @@ impl ServerStats {
         }
     }
 }
+
+/// A registered one-sided export: `(name, mem_mrs index, stride,
+/// slots, meta)`.
+type ExportEntry = (String, usize, u32, u32, u64);
 
 struct ServerInner {
     node: Arc<Node>,
@@ -213,6 +223,10 @@ struct ServerInner {
     qpn_map: RwLock<HashMap<u32, (usize, usize)>>,
     qp_sched: Mutex<QpScheduler>,
     mem_mrs: RwLock<Vec<Arc<MemoryRegion>>>,
+    /// One-sided segment exports. Registered by the application via
+    /// [`FlockServer::export_segment`]; served to clients as
+    /// [`SegmentLease`]s over [`CtrlMsg::Export`].
+    exports: RwLock<Vec<ExportEntry>>,
     imm_cq: Arc<flock_fabric::CompletionQueue>,
     manual_tx: Sender<IncomingRpc>,
     manual_rx: Receiver<IncomingRpc>,
@@ -253,6 +267,7 @@ impl FlockServer {
             qpn_map: RwLock::new(HashMap::new()),
             qp_sched: Mutex::new(QpScheduler::new(cfg.sched.clone())),
             mem_mrs: RwLock::new(Vec::new()),
+            exports: RwLock::new(Vec::new()),
             imm_cq,
             manual_tx,
             manual_rx,
@@ -313,6 +328,35 @@ impl FlockServer {
     /// Direct access to an attached region (server-local reads/writes).
     pub fn mem_region(&self, idx: usize) -> Option<Arc<MemoryRegion>> {
         self.inner.mem_mrs.read().get(idx).cloned()
+    }
+
+    /// Export a slotted view of an attached region for one-sided reads:
+    /// `slots` records of `stride` bytes each, starting at the region
+    /// base. Clients discover exports by name over the control path
+    /// ([`crate::client::ConnectionHandle::fetch_exports`]) and read
+    /// slots with zero further server CPU involvement. `meta` is
+    /// layout-specific (e.g. the value capacity inside a versioned
+    /// slot). Fails if the geometry overruns the region.
+    pub fn export_segment(
+        &self,
+        name: &str,
+        mr_idx: usize,
+        stride: u32,
+        slots: u32,
+        meta: u64,
+    ) -> Result<()> {
+        let mrs = self.inner.mem_mrs.read();
+        let mr = mrs.get(mr_idx).ok_or(FlockError::Disconnected)?;
+        let need = stride as u64 * slots as u64;
+        if stride == 0 || need > mr.len() as u64 {
+            return Err(FlockError::CorruptMessage("export overruns its region"));
+        }
+        drop(mrs);
+        self.inner
+            .exports
+            .write()
+            .push((name.to_string(), mr_idx, stride, slots, meta));
+        Ok(())
     }
 
     /// Pull a request with no registered handler (`fl_recv_rpc`).
@@ -430,9 +474,38 @@ fn accept_loop(inner: &Arc<ServerInner>, rx: Receiver<CtrlMsg>) {
                 let reply = attach_one(inner, &req);
                 let _ = req.reply.send(reply);
             }
+            CtrlMsg::AttachMem(req) => {
+                let reply = attach_mem_one(inner, &req);
+                let _ = req.reply.send(reply);
+            }
             CtrlMsg::Detach(req) => {
                 let reply = detach_one(inner, req.sender_id);
                 let _ = req.reply.send(reply);
+            }
+            CtrlMsg::Export(req) => {
+                let mrs = inner.mem_mrs.read();
+                let segments = inner
+                    .exports
+                    .read()
+                    .iter()
+                    .filter(|(name, ..)| {
+                        req.filter.as_deref().is_none_or(|f| f == name.as_str())
+                    })
+                    .filter_map(|(name, mr_idx, stride, slots, meta)| {
+                        mrs.get(*mr_idx).map(|mr| SegmentLease {
+                            name: name.clone(),
+                            region: MemRegionInfo {
+                                rkey: mr.rkey(),
+                                addr: mr.addr(),
+                                len: mr.len(),
+                            },
+                            stride: *stride,
+                            slots: *slots,
+                            meta: *meta,
+                        })
+                    })
+                    .collect();
+                let _ = req.reply.send(Ok(ExportReply { segments }));
             }
         }
     }
@@ -521,6 +594,7 @@ fn accept_one(inner: &Arc<ServerInner>, req: &ConnectRequest) -> Result<ConnectR
         counters,
         send_cq,
         qps: RwLock::new(qps),
+        mem_qps: Mutex::new(Vec::new()),
         departed: AtomicBool::new(false),
     }));
     // Seed the new connection's dispatcher round-robin; the QP scheduler
@@ -611,6 +685,36 @@ fn attach_one(inner: &Arc<ServerInner>, req: &AttachRequest) -> Result<AttachRep
     })
 }
 
+/// Pair a dedicated one-sided QP with a live connection (the client
+/// half is a per-thread "mem QP", the FaRM/HERD-style baseline). The
+/// server side is passive: the QP joins no dispatch shard and no
+/// scheduler sender — it is raw per-client connection state, outside
+/// every coordination mechanism Flock layers over the shared lanes.
+fn attach_mem_one(inner: &Arc<ServerInner>, req: &AttachMemRequest) -> Result<AttachMemReply> {
+    // Clone the connection out of the registry before touching its
+    // mem_qps lock: never hold `conns` and `mem_qps` together (the
+    // detach path orders them the other way around).
+    let conn = {
+        let conns = inner.conns.read();
+        conns
+            .iter()
+            .find(|c| c.sender_id == req.sender_id && !c.departed.load(Ordering::Relaxed))
+            .map(Arc::clone)
+            .ok_or(FlockError::Disconnected)?
+    };
+    // Tiny CQ: nothing ever completes on the passive side (one-sided
+    // verbs signal only the requester), but a QP needs one to exist.
+    let cq = inner.node.create_cq(8);
+    let qp = inner.node.lease_qp(Transport::Rc, &cq, &cq);
+    if let Err(e) = flock_fabric::connect_qps(&req.client_qp, &qp) {
+        inner.node.release_qp(&qp);
+        return Err(e.into());
+    }
+    let server_qp = qp.qpn();
+    conn.mem_qps.lock().push(qp);
+    Ok(AttachMemReply { server_qp })
+}
+
 /// Gracefully tear down a sender: release its AQP share immediately,
 /// tombstone the connection out of every dispatcher's next snapshot,
 /// wait for all workers to acknowledge the new topology (quiescence —
@@ -665,6 +769,14 @@ fn detach_one(inner: &Arc<ServerInner>, sender_id: u32) -> Result<()> {
         inner.node.release_qp(&ctx.qp);
         inner.node.release_mr(&ctx.req_mr);
         inner.node.release_mr(&ctx.staging);
+    }
+    // Dedicated one-sided QPs leave with the sender too (no quiescence
+    // needed: no dispatcher ever touches them). Take the list in its
+    // own statement so the mem_qps guard is dropped before the release
+    // calls and the re-cut below.
+    let mem_qps = std::mem::take(&mut *conn.mem_qps.lock());
+    for qp in mem_qps {
+        inner.node.release_qp(&qp);
     }
     // Re-cut the dispatcher partition without the departed connection.
     rebalance_dispatch(inner);

@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use crate::cache::qp_state_key;
 use crate::fabric::{FabricInner, Node};
 use crate::mr::Access;
-use crate::types::{FabricError, QpNum, QpState, Result};
+use crate::types::{FabricError, NodeId, QpNum, QpState, Result};
 use crate::verbs::{Completion, CqOpcode, CqStatus, RecvWr, SendOp, SendWr, Sge};
 
 /// Size of the global routing header prefixed to UD receive payloads.
@@ -43,6 +43,29 @@ pub enum NicCmd {
         /// The QP's lease epoch at post time ([`crate::qp::Qp::epoch`]).
         /// The engine drops work whose epoch no longer matches: the QP
         /// was reset (recycled into the pool) after this was posted.
+        epoch: u64,
+        /// The work request.
+        wr: SendWr,
+    },
+    /// A one-sided verb (READ / FetchAdd / CmpSwap) arriving at the
+    /// *responder* node's engine. In virtual time the requester lane
+    /// charges only the issue cost (WQE fetch + connection-state
+    /// lookup) and forwards the verb here, because the expensive half
+    /// of a one-sided op — fetching the payload over PCIe and
+    /// generating the response — runs on the responder NIC's
+    /// processing units and competes with every other client's verbs
+    /// for them and for the responder's connection cache. This is the
+    /// serialization that coalesced RPC amortizes away at high fan-in
+    /// (paper §2, §8.3.1).
+    Respond {
+        /// Node that posted the verb (owns the QP, CQ, and local MR).
+        req_node: NodeId,
+        /// The posting queue pair on `req_node`.
+        src_qpn: QpNum,
+        /// The responder-side queue pair, whose connection state is
+        /// what the responder NIC must have resident.
+        dst_qpn: QpNum,
+        /// The posting QP's lease epoch at post time.
         epoch: u64,
         /// The work request.
         wr: SendWr,
@@ -100,6 +123,21 @@ pub(crate) fn engine_loop(
             NicCmd::Post { src_qpn, epoch, wr } => {
                 process(&fabric, &node, src_qpn, epoch, wr, &mut rng)
             }
+            // Threaded engines execute one-sided verbs inline on the
+            // requester lane (timing is accounting-only there), so no
+            // Respond is ever forwarded; handle it anyway so a mixed
+            // setup degrades to correct execution.
+            NicCmd::Respond {
+                req_node,
+                src_qpn,
+                epoch,
+                wr,
+                ..
+            } => {
+                if let Ok(req) = fabric.node(req_node) {
+                    process(&fabric, &req, src_qpn, epoch, wr, &mut rng);
+                }
+            }
             NicCmd::Stop => break,
         }
     }
@@ -129,8 +167,55 @@ fn engine_loop_virtual(
         match rx.try_recv() {
             Ok(NicCmd::Post { src_qpn, epoch, wr }) => {
                 idler.reset();
-                clock::sleep_ns(virtual_service_ns(&fabric.config.cost, node, src_qpn, &wr));
-                process(fabric, node, src_qpn, epoch, wr, rng);
+                match one_sided_target(fabric, node, src_qpn, &wr) {
+                    Some((dst, dst_qpn)) => {
+                        // One-sided verb: the requester NIC only
+                        // fetches the WQE and looks up its connection
+                        // state before the request packet leaves; the
+                        // payload DMA and response generation are the
+                        // responder NIC's work. Charge the issue half
+                        // here, then queue the responder half on the
+                        // destination node's lane (sharded by the
+                        // responder QPN, so per-QP FIFO order holds).
+                        clock::sleep_ns(issue_service_ns(&fabric.config.cost, node, src_qpn));
+                        dst.forward_cmd(
+                            dst_qpn,
+                            NicCmd::Respond {
+                                req_node: node.id(),
+                                src_qpn,
+                                dst_qpn,
+                                epoch,
+                                wr,
+                            },
+                        );
+                    }
+                    None => {
+                        clock::sleep_ns(virtual_service_ns(
+                            &fabric.config.cost,
+                            node,
+                            src_qpn,
+                            &wr,
+                        ));
+                        process(fabric, node, src_qpn, epoch, wr, rng);
+                    }
+                }
+            }
+            Ok(NicCmd::Respond {
+                req_node,
+                src_qpn,
+                dst_qpn,
+                epoch,
+                wr,
+            }) => {
+                idler.reset();
+                // `node` is the responder here: service time is priced
+                // by whether *this* NIC has the responder-side QP state
+                // resident — the fan-in effect: past the cache size,
+                // every one-sided verb pays the PCIe state fetch.
+                clock::sleep_ns(responder_service_ns(&fabric.config.cost, node, dst_qpn, &wr));
+                if let Ok(req) = fabric.node(req_node) {
+                    process(fabric, &req, src_qpn, epoch, wr, rng);
+                }
             }
             Ok(NicCmd::Stop) | Err(TryRecvError::Disconnected) => break,
             Err(TryRecvError::Empty) => idler.idle(),
@@ -138,7 +223,79 @@ fn engine_loop_virtual(
     }
 }
 
-/// Virtual NIC service time for one work request: base verb cost plus
+/// Resolve the responder for a one-sided verb, when it can run on the
+/// destination node's engine: returns the destination node and the
+/// responder-side QPN for READ / FetchAdd / CmpSwap. Two-sided sends
+/// and ring writes return `None` — their responder-side work is the
+/// receive path, which the host-CPU model already prices — as do
+/// unresolvable destinations (the requester lane then surfaces the
+/// error through the normal path).
+fn one_sided_target(
+    fabric: &FabricInner,
+    node: &Node,
+    src_qpn: QpNum,
+    wr: &SendWr,
+) -> Option<(Arc<Node>, QpNum)> {
+    if !matches!(
+        wr.op,
+        SendOp::Read { .. } | SendOp::FetchAdd { .. } | SendOp::CmpSwap { .. }
+    ) {
+        return None;
+    }
+    let qp = node.qp(src_qpn)?;
+    let (dst_id, dst_qpn) = qp.remote().or(wr.dst)?;
+    let dst = fabric.node(dst_id).ok()?;
+    Some((dst, dst_qpn))
+}
+
+/// Requester-side cost of issuing a one-sided verb: WQE fetch plus the
+/// posting QP's connection-state lookup. No payload bytes move through
+/// the requester NIC at issue time.
+fn issue_service_ns(cost: &crate::timing::CostModel, node: &Node, src_qpn: QpNum) -> u64 {
+    let hit = node
+        .cache()
+        .lock()
+        .contains(qp_state_key(node.id().0, src_qpn.0));
+    cost.nic_service(0, hit).as_nanos()
+}
+
+/// Responder-side cost of executing a one-sided verb: connection-state
+/// lookup in the *responder's* NIC cache, payload DMA over its PCIe
+/// link, the read/atomic surcharge, and the CQE DMA for the completion
+/// it will generate back at the requester.
+fn responder_service_ns(
+    cost: &crate::timing::CostModel,
+    node: &Node,
+    dst_qpn: QpNum,
+    wr: &SendWr,
+) -> u64 {
+    let bytes = match wr.op {
+        SendOp::Send { local }
+        | SendOp::Write { local, .. }
+        | SendOp::WriteImm { local, .. }
+        | SendOp::Read { local, .. } => local.len,
+        SendOp::FetchAdd { .. } | SendOp::CmpSwap { .. } => 8,
+    };
+    let hit = node
+        .cache()
+        .lock()
+        .contains(qp_state_key(node.id().0, dst_qpn.0));
+    let mut ns = cost.nic_service(bytes, hit).as_nanos();
+    if matches!(wr.op, SendOp::Read { .. }) {
+        ns += cost.nic_read_extra_ns;
+    }
+    if matches!(wr.op, SendOp::FetchAdd { .. } | SendOp::CmpSwap { .. }) {
+        ns += cost.nic_atomic_extra_ns;
+    }
+    if wr.signaled {
+        ns += cost.nic_cqe_dma_ns;
+    }
+    ns
+}
+
+/// Virtual NIC service time for one work request executed entirely on
+/// the requester lane (two-sided sends, ring writes, and one-sided
+/// verbs whose destination could not be resolved): base verb cost plus
 /// connection-state lookup (priced by whether the posting QP's state is
 /// resident in the NIC cache — the actual hit/miss is recorded by
 /// `process` with the same key), DMA per byte, read-responder surcharge,
@@ -163,6 +320,9 @@ fn virtual_service_ns(
     let mut ns = cost.nic_service(bytes, hit).as_nanos();
     if matches!(wr.op, SendOp::Read { .. }) {
         ns += cost.nic_read_extra_ns;
+    }
+    if matches!(wr.op, SendOp::FetchAdd { .. } | SendOp::CmpSwap { .. }) {
+        ns += cost.nic_atomic_extra_ns;
     }
     if wr.signaled {
         ns += cost.nic_cqe_dma_ns;

@@ -28,6 +28,12 @@ pub struct CostModel {
     /// Extra NIC processing for one-sided read responder/requester work
     /// (RDMA reads are heavier than ring writes per WQE).
     pub nic_read_extra_ns: u64,
+    /// Extra NIC processing for remote atomics (FetchAdd/CmpSwap). The
+    /// responder NIC serializes atomics through a single locked PCIe
+    /// read-modify-write unit, making them the slowest verb per WQE —
+    /// the reason ALock keeps contended handoffs local and only touches
+    /// the remote word once per cohort burst.
+    pub nic_atomic_extra_ns: u64,
     /// Number of connection-state entries the NIC cache holds.
     pub nic_cache_entries: usize,
     /// DMA engine cost per byte moved host<->NIC (PCIe payload).
@@ -111,6 +117,7 @@ impl Default for CostModel {
             nic_cached_state_ns: 15,
             nic_cache_miss_ns: 1_450,
             nic_read_extra_ns: 15,
+            nic_atomic_extra_ns: 60,
             nic_cache_entries: 1024,
             nic_dma_ns_per_kb: 60,
             nic_cqe_dma_ns: 40,
@@ -251,6 +258,17 @@ mod tests {
             let warm = m.ctrl_reset_qp_ns + m.memset_time(bytes).as_nanos();
             assert!(cold >= 10 * warm, "kb={kb} cold={cold} warm={warm}");
         }
+    }
+
+    #[test]
+    fn atomics_are_the_slowest_small_verb() {
+        // The one-sided cost ladder for an 8-byte payload: ring write <
+        // read < atomic. ALock's cohort rule (hand off locally, CAS
+        // remotely once per burst) only pays off if the model agrees.
+        let m = CostModel::default();
+        let base = m.nic_service(8, true).as_nanos();
+        assert!(m.nic_atomic_extra_ns > m.nic_read_extra_ns);
+        assert!(base + m.nic_atomic_extra_ns > base + m.nic_read_extra_ns);
     }
 
     #[test]

@@ -19,16 +19,28 @@
 //! * [`tenant`] — the edge-side session → tenant registry.
 //! * [`backend`] — the kv RPC handlers (GET/SET/PING) registered on a
 //!   `FlockServer`.
+//! * [`mirror`] — the kv backend with a one-sided value mirror and the
+//!   [`ReadMode`]-steered client (`Rpc` / `OneSided` / `Adaptive`).
+//! * [`hydra`] — the same bridge over `flock-hydralist`, plus a leaf
+//!   mirror a client traverses with raw READs.
 //! * [`rpc`] — the gateway↔backend payload contract (FNV-hashed keys).
 
 pub mod backend;
 pub mod edge;
 pub mod gateway;
+pub mod hydra;
+pub mod mirror;
 pub mod proto;
 pub mod rpc;
 pub mod tenant;
 
 pub use backend::register_kv_backend;
+pub use flock_kvstore::{AdaptivePolicy, ReadMode};
+pub use hydra::{
+    register_hydra_backend, register_hydra_mirror_backend, HydraMirror, HydraReader, LeafView,
+    HYDRA_SEGMENT,
+};
+pub use mirror::{register_kv_mirror_backend, KvReadClient, KvReadStats, KV_SEGMENT};
 pub use edge::{EdgeError, EdgeSession};
 pub use gateway::{Gateway, GatewayConfig};
 pub use proto::{

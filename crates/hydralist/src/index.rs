@@ -44,6 +44,10 @@ struct Slot {
     next: AtomicUsize,
 }
 
+/// [`HydraList::export_node`]'s snapshot: `(min_key, next, entries)`,
+/// with `next` as `None` at the tail.
+pub type NodeSnapshot = (u64, Option<usize>, Vec<(u64, u64)>);
+
 /// The HydraList-style ordered index. Keys and values are `u64` (the
 /// paper's workload uses 8-byte keys and values).
 #[derive(Debug)]
@@ -102,6 +106,11 @@ impl HydraList {
         self.arena.read().len()
     }
 
+    /// Maximum entries a data node holds before splitting.
+    pub fn node_capacity(&self) -> usize {
+        self.cfg.node_capacity
+    }
+
     /// Number of pending (unapplied) search-layer updates.
     pub fn pending_search_updates(&self) -> usize {
         self.pending.lock().len()
@@ -155,6 +164,20 @@ impl HydraList {
 
     /// Insert or overwrite `key`; returns the previous value if any.
     pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        self.insert_watch(key, value, &mut |_| {})
+    }
+
+    /// [`HydraList::insert`] that also reports every arena index whose
+    /// node changed (the node inserted into, plus the new upper half on
+    /// a split). Mirrors that export the leaf layer into a one-sided
+    /// segment (`flock-gateway`'s hydra bridge) republish exactly the
+    /// touched nodes.
+    pub fn insert_watch(
+        &self,
+        key: u64,
+        value: u64,
+        touched: &mut dyn FnMut(usize),
+    ) -> Option<u64> {
         loop {
             let (idx, slot) = self.locate(key);
             let mut node = slot.node.lock();
@@ -168,23 +191,49 @@ impl HydraList {
                 Ok(pos) => {
                     let old = node.entries[pos].1;
                     node.entries[pos].1 = value;
+                    touched(idx);
                     return Some(old);
                 }
                 Err(pos) => {
                     node.entries.insert(pos, (key, value));
                     self.len.fetch_add(1, Ordering::Relaxed);
                     if node.entries.len() > self.cfg.node_capacity {
-                        self.split(idx, &slot, &mut node);
+                        self.split(idx, &slot, &mut node, touched);
                     }
+                    touched(idx);
                     return None;
                 }
             }
         }
     }
 
+    /// Snapshot one data node for export: `(min_key, next, entries)`,
+    /// with `next` as `None` at the tail. Navigation fields and payload
+    /// are read under the node lock, so the snapshot is internally
+    /// consistent (a concurrent split cannot interleave).
+    pub fn export_node(&self, idx: usize) -> Option<NodeSnapshot> {
+        let slot = {
+            let arena = self.arena.read();
+            Arc::clone(arena.get(idx)?)
+        };
+        let node = slot.node.lock();
+        let next = slot.next.load(Ordering::Acquire);
+        Some((
+            slot.min_key.load(Ordering::Acquire),
+            (next != NIL).then_some(next),
+            node.entries.clone(),
+        ))
+    }
+
     /// Split a full node (whose lock is held): the upper half moves to a
     /// new node appended to the arena; the search-layer update is queued.
-    fn split(&self, _idx: usize, slot: &Arc<Slot>, node: &mut DataNode) {
+    fn split(
+        &self,
+        _idx: usize,
+        slot: &Arc<Slot>,
+        node: &mut DataNode,
+        touched: &mut dyn FnMut(usize),
+    ) {
         let mid = node.entries.len() / 2;
         let upper: Vec<(u64, u64)> = node.entries.split_off(mid);
         let split_key = upper[0].0;
@@ -203,6 +252,7 @@ impl HydraList {
             slot.next.store(new_idx, Ordering::Release);
             new_idx
         };
+        touched(new_idx);
         self.pending.lock().push((split_key, new_idx));
         if self.cfg.sync_search_updates {
             self.flush_search_updates();
@@ -409,6 +459,33 @@ mod tests {
                 assert_eq!(h.get(k), Some(k));
             }
         }
+    }
+
+    #[test]
+    fn insert_watch_reports_touched_nodes_and_exports_chain() {
+        let h = HydraList::new(HydraConfig {
+            node_capacity: 4,
+            sync_search_updates: true,
+        });
+        let mut touched = Vec::new();
+        for k in 0..16u64 {
+            h.insert_watch(k, k + 100, &mut |i| touched.push(i));
+        }
+        assert!(touched.len() >= 16, "each insert reports at least one node");
+        assert!(touched.iter().any(|&i| i > 0), "splits report the new node");
+        // Walking the exported chain from node 0 visits every key in order
+        // (the invariant the one-sided leaf traversal relies on).
+        let mut chain = Vec::new();
+        let mut cur = Some(0);
+        while let Some(i) = cur {
+            let (min_key, next, entries) = h.export_node(i).unwrap();
+            assert!(entries.iter().all(|&(k, _)| k >= min_key));
+            chain.extend(entries);
+            cur = next;
+        }
+        assert_eq!(chain.len(), 16);
+        assert!(chain.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(h.export_node(h.node_count()).is_none());
     }
 
     #[test]

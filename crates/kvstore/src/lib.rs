@@ -14,8 +14,10 @@
 //! exactly the word a remote validator reads with a one-sided RDMA read in
 //! the validation phase of FlockTX.
 
+pub mod readmode;
 pub mod store;
 pub mod versioned;
 
+pub use readmode::{AdaptivePolicy, ReadMode};
 pub use store::{KvConfig, KvStore, Partition};
 pub use versioned::{VersionEntry, LOCK_BIT};

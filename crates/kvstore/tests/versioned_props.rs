@@ -1,0 +1,101 @@
+//! Property-based tests of the version/lock word (`flock_kvstore::versioned`).
+//!
+//! The word is the contract between the store's write path and every
+//! remote validator — FlockTX's validation read and the one-sided
+//! seqlock reader (`flock_core::onesided`) both reject a snapshot whose
+//! word is locked or changed. These properties pin the invariants those
+//! readers rely on:
+//!
+//! * **Round-trip** — lock state and version encode/decode losslessly
+//!   for any 63-bit version.
+//! * **Torn-read detection** — a reader sampling the word at any point
+//!   of any lock/publish schedule never accepts a mid-write snapshot:
+//!   every accepted (unlocked) word is one of the committed versions.
+//! * **Monotonicity** — versions only grow across lock/publish cycles,
+//!   and aborts never change the version.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use flock_kvstore::{VersionEntry, LOCK_BIT};
+
+/// One step of a writer schedule: `(commit, value)` — `try_lock`, then
+/// publish `value` and unlock (commit) or release without publishing
+/// (abort).
+type Step = (bool, Vec<u8>);
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (any::<bool>(), vec(any::<u8>(), 0..16usize))
+}
+
+proptest! {
+    /// Lock bit and version are independent fields of the word: any
+    /// 63-bit version round-trips unchanged through lock/unlock.
+    #[test]
+    fn word_roundtrip(version in 0u64..(1 << 63)) {
+        let mut e = VersionEntry::new(Vec::new());
+        e.word = version;
+        prop_assert!(!e.is_locked());
+        prop_assert_eq!(e.version(), version);
+        if e.try_lock() {
+            prop_assert!(e.is_locked());
+            prop_assert_eq!(e.version(), version, "locking must not disturb the version");
+            prop_assert_eq!(e.word, version | LOCK_BIT);
+            e.unlock();
+            prop_assert!(!e.is_locked());
+            prop_assert_eq!(e.version(), version, "abort must not bump the version");
+        }
+    }
+
+    /// Drive an arbitrary commit/abort schedule and sample the word
+    /// after every sub-step, as a one-sided reader would. An unlocked
+    /// word is always a committed version — never a mid-write state —
+    /// and a locked word is always rejected.
+    #[test]
+    fn torn_reads_are_detectable(steps in vec(step_strategy(), 1..32)) {
+        let mut e = VersionEntry::new(vec![0xAB]);
+        let mut committed = vec![e.word];
+        for step in steps {
+            prop_assert!(e.try_lock(), "unlocked entry must lock");
+            // Mid-write sample: the reader must reject this snapshot.
+            prop_assert!(e.is_locked());
+            prop_assert!(e.word & LOCK_BIT != 0);
+            let (commit, value) = step;
+            if commit {
+                e.update_and_unlock(value);
+                committed.push(e.word);
+            } else {
+                e.unlock();
+            }
+            // Post-step sample: an accepted (unlocked) word is exactly
+            // one of the committed versions.
+            prop_assert!(!e.is_locked());
+            prop_assert!(committed.contains(&e.word), "accepted word is not a committed version");
+        }
+    }
+
+    /// Versions never decrease across any schedule, bump by exactly one
+    /// per commit, and stay fixed across aborts.
+    #[test]
+    fn version_is_monotonic(steps in vec(step_strategy(), 1..64)) {
+        let mut e = VersionEntry::new(Vec::new());
+        let mut last = e.version();
+        let mut commits = 0u64;
+        for step in steps {
+            prop_assert!(e.try_lock());
+            let before = e.version();
+            let (commit, value) = step;
+            if commit {
+                e.update_and_unlock(value);
+                commits += 1;
+                prop_assert_eq!(e.version(), before + 1, "commit bumps by exactly one");
+            } else {
+                e.unlock();
+                prop_assert_eq!(e.version(), before, "abort leaves the version alone");
+            }
+            prop_assert!(e.version() >= last, "version went backwards");
+            last = e.version();
+        }
+        prop_assert_eq!(e.version(), 1 + commits, "final version counts the commits");
+    }
+}

@@ -21,6 +21,12 @@
 //! 4. **Commit** — primaries install the new values, bump versions, and
 //!    unlock.
 //!
+//! For write-hot keys where OCC retries burn more verbs than locks
+//! would, [`TxnClient::run_locked`] wraps the same four phases in
+//! pessimistic [`StripeLocks`] — per-stripe ALock cohorts over a remote
+//! CAS word table ([`export_stripe_locks`]) — trading one amortized
+//! remote atomic per stripe for zero aborts.
+//!
 //! [`workloads`] provides the paper's TATP (read-intensive) and Smallbank
 //! (write-intensive) benchmark generators.
 
@@ -30,8 +36,8 @@ pub mod protocol;
 pub mod server;
 pub mod workloads;
 
-pub use coordinator::{TxnClient, TxnOutcome};
+pub use coordinator::{StripeLocks, TxnClient, TxnOutcome};
 pub use pipelined::{PipelineStats, PipelinedTxnClient, TxnLogic};
 pub use protocol::{key_partition, TxnResp, TxnRpc};
-pub use server::TxnServer;
+pub use server::{export_stripe_locks, TxnServer, STRIPE_SEGMENT, TXN_STRIPES};
 pub use workloads::{Smallbank, Tatp, TxnSpec};

@@ -12,6 +12,22 @@ use parking_lot::Mutex;
 
 use crate::protocol::{KeyRead, TxnResp, TxnRpc, RPC_ABORT, RPC_COMMIT, RPC_EXECUTE, RPC_LOG};
 
+/// Number of words in the exported stripe-lock table.
+pub const TXN_STRIPES: usize = 64;
+
+/// Export name of the stripe-lock table.
+pub const STRIPE_SEGMENT: &str = "txn-stripes";
+
+/// Attach and export the pessimistic stripe-lock table: [`TXN_STRIPES`]
+/// zero-initialized words clients CAS with
+/// [`crate::coordinator::StripeLocks`] (the ALock commit path). Returns
+/// the advertised region index clients address their verbs at.
+pub fn export_stripe_locks(server: &FlockServer) -> flock_core::Result<usize> {
+    let idx = server.attach_mreg(TXN_STRIPES * 8);
+    server.export_segment(STRIPE_SEGMENT, idx, 8, TXN_STRIPES as u32, 0)?;
+    Ok(idx)
+}
+
 /// Per-server FlockTX state.
 ///
 /// The server's primary data lives in a local [`KvStore`]; every entry's

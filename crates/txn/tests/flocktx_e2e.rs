@@ -10,7 +10,7 @@ use flock_core::server::{FlockServer, ServerConfig};
 use flock_core::{ConnectionHandle, FlockDomain};
 use flock_sim::SimRng;
 use flock_txn::protocol::key_partition;
-use flock_txn::{Smallbank, TxnClient, TxnOutcome, TxnServer};
+use flock_txn::{export_stripe_locks, Smallbank, StripeLocks, TxnClient, TxnOutcome, TxnServer};
 
 const N_SERVERS: usize = 3;
 
@@ -19,12 +19,16 @@ struct Cluster {
     servers: Vec<FlockServer>,
     txn_servers: Vec<Arc<TxnServer>>,
     handles: Vec<Arc<ConnectionHandle>>,
+    /// Advertised region index of the stripe-lock table (same on every
+    /// server: attached second, after the version table).
+    stripe_region: usize,
 }
 
 fn cluster() -> Cluster {
     let domain = FlockDomain::with_defaults();
     let mut servers = Vec::new();
     let mut txn_servers = Vec::new();
+    let mut stripe_region = 0;
     for i in 0..N_SERVERS {
         let node = domain.add_node(&format!("txn-srv-{i}"));
         let server =
@@ -32,6 +36,7 @@ fn cluster() -> Cluster {
         let idx = server.attach_mreg(1 << 20); // 128k version slots
         let ts = TxnServer::new(i, server.mem_region(idx).unwrap());
         ts.register(&server);
+        stripe_region = export_stripe_locks(&server).unwrap();
         servers.push(server);
         txn_servers.push(ts);
     }
@@ -54,6 +59,7 @@ fn cluster() -> Cluster {
         servers,
         txn_servers,
         handles,
+        stripe_region,
     }
 }
 
@@ -364,6 +370,110 @@ fn pipelined_coordinator_overlaps_transactions() {
         }
     }
     assert_eq!(total, initial_total, "money conservation violated");
+    teardown(c);
+}
+
+/// The pessimistic ALock commit path: conflicting increments on one
+/// write-hot key serialize *before* execution, so not a single
+/// transaction aborts (vs. the OCC path above, which retries), and the
+/// cohort amortizes the remote CAS traffic through local handoffs.
+#[test]
+fn stripe_locked_transactions_never_abort() {
+    let c = cluster();
+    load(&c, 555, &0u64.to_le_bytes());
+    let locks = StripeLocks::new(N_SERVERS, c.stripe_region, 0xF10C);
+    let handles = c.handles.clone();
+    let per_thread = 30u64;
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let handles = handles.clone();
+        let locks = Arc::clone(&locks);
+        joins.push(std::thread::spawn(move || {
+            let client = TxnClient::new(&handles);
+            let mut aborts = 0u64;
+            for _ in 0..per_thread {
+                let outcome = client
+                    .run_locked(&locks, &[], &[555], |vals| {
+                        let old = u64::from_le_bytes(
+                            vals[&555].as_ref().unwrap()[..8].try_into().unwrap(),
+                        );
+                        HashMap::from([(555u64, (old + 1).to_le_bytes().to_vec())])
+                    })
+                    .unwrap();
+                if outcome == TxnOutcome::Aborted {
+                    aborts += 1;
+                }
+            }
+            aborts
+        }));
+    }
+    let aborts: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert_eq!(aborts, 0, "stripe locks must serialize ahead of OCC");
+    let p = key_partition(555, N_SERVERS);
+    let v = c.txn_servers[p].peek(555).unwrap();
+    assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 4 * per_thread);
+    // Every acquisition went through the ALock; under contention the
+    // cohort takes at least some local handoffs.
+    assert_eq!(
+        locks.remote_acquires() + locks.local_handoffs(),
+        4 * per_thread
+    );
+    teardown(c);
+}
+
+/// Locked and multi-stripe transactions: cross-partition payments under
+/// stripe locks conserve money with zero aborts.
+#[test]
+fn stripe_locked_multi_key_payments_conserve_money() {
+    let c = cluster();
+    for k in 0..8u64 {
+        load(&c, k, &1000u64.to_le_bytes());
+    }
+    let locks = StripeLocks::new(N_SERVERS, c.stripe_region, 0xF10D);
+    let handles = c.handles.clone();
+    let mut joins = Vec::new();
+    for t in 0..3u64 {
+        let handles = handles.clone();
+        let locks = Arc::clone(&locks);
+        joins.push(std::thread::spawn(move || {
+            let client = TxnClient::new(&handles);
+            let mut rng = SimRng::new(900 + t);
+            let mut aborts = 0u64;
+            for _ in 0..40 {
+                let from = rng.below(8);
+                let to = (from + 1 + rng.below(7)) % 8;
+                let outcome = client
+                    .run_locked(&locks, &[], &[from, to], |vals| {
+                        let f = u64::from_le_bytes(
+                            vals[&from].as_ref().unwrap()[..8].try_into().unwrap(),
+                        );
+                        let tv = u64::from_le_bytes(
+                            vals[&to].as_ref().unwrap()[..8].try_into().unwrap(),
+                        );
+                        let amount = 3.min(f);
+                        HashMap::from([
+                            (from, (f - amount).to_le_bytes().to_vec()),
+                            (to, (tv + amount).to_le_bytes().to_vec()),
+                        ])
+                    })
+                    .unwrap();
+                if outcome == TxnOutcome::Aborted {
+                    aborts += 1;
+                }
+            }
+            aborts
+        }));
+    }
+    let aborts: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert_eq!(aborts, 0, "sorted stripe acquisition must prevent aborts");
+    let total: u64 = (0..8u64)
+        .map(|k| {
+            let p = key_partition(k, N_SERVERS);
+            let v = c.txn_servers[p].peek(k).unwrap();
+            u64::from_le_bytes(v[..8].try_into().unwrap())
+        })
+        .sum();
+    assert_eq!(total, 8 * 1000, "money created or destroyed");
     teardown(c);
 }
 

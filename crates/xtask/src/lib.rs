@@ -25,7 +25,11 @@ pub mod walk;
 use std::process::ExitCode;
 
 /// Every loom suite in the workspace: (package, test target).
-const LOOM_SUITES: &[(&str, &str)] = &[("flock-core", "loom_tcq"), ("flock-fabric", "loom_cq")];
+const LOOM_SUITES: &[(&str, &str)] = &[
+    ("flock-core", "loom_tcq"),
+    ("flock-core", "loom_alock"),
+    ("flock-fabric", "loom_cq"),
+];
 
 /// Run all loom model-checking suites with `--cfg loom`, forwarding
 /// `extra` to each test binary. Respects an existing `RUSTFLAGS` (so

@@ -42,6 +42,16 @@ pub const ENTRY_POINTS: &[(&str, &str)] = &[
     // session reuses its decode scratch, so steady-state pumping must
     // not allocate per request.
     ("crates/gateway/src/edge.rs", "pump"),
+    // One-sided read loop: a READ + validate per GET — the whole point
+    // is zero server CPU and one verb, so the client side must not pay
+    // the allocator either (the reader owns its scratch MR slice and
+    // the caller's landing buffer is reused).
+    ("crates/core/src/onesided.rs", "read_slot"),
+    // ALock acquire: a lock-service client takes this on every
+    // critical section; local handoff is the fast path and must stay
+    // allocation-free (the remote CAS leg's WR posting reuses TCQ
+    // slots).
+    ("crates/core/src/alock.rs", "acquire"),
 ];
 
 /// Maximum call-graph depth explored from an entry point.

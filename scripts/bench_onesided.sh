@@ -1,0 +1,5 @@
+#!/bin/sh
+# Run the RPC-vs-one-sided crossover benchmark (BENCH_onesided.json).
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p flock-bench --bin bench_onesided -- "$@"
